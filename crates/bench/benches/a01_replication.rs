@@ -1,0 +1,28 @@
+//! A1 bench: the replication-aware fork solver across spare budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::workloads;
+use ea_core::ext::replication;
+use ea_taskgraph::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_replication(c: &mut Criterion) {
+    let rel = workloads::standard_reliability();
+    let ws = generators::random_weights(8, 1.2, 2.2, 3);
+    let base = 1.0 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+    let d = 1.6 * base;
+    let mut group = c.benchmark_group("a01_replication");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &spares in &[0usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("spares", spares), &spares, |b, &s| {
+            b.iter(|| replication::solve_fork(black_box(1.0), &ws, d, &rel, s).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! A2 bench: the three list-scheduling placement policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_core::ext::mapping::{schedule_with_policy, Policy};
+use ea_core::platform::Platform;
+use ea_taskgraph::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mapping(c: &mut Criterion) {
+    let dag = generators::gaussian_elimination(6, 1.0);
+    let mut group = c.benchmark_group("a02_mapping");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+    for (name, policy) in [
+        ("earliest_finish", Policy::EarliestFinish),
+        ("load_balance", Policy::LoadBalance),
+        ("slack_preserving", Policy::SlackPreserving),
+    ] {
+        group.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &p| {
+            b.iter(|| schedule_with_policy(black_box(&dag), Platform::new(4), 2.0, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

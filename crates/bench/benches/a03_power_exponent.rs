@@ -1,0 +1,36 @@
+//! A3 bench: the generalised-α equivalent-weight algebra (and the
+//! checkpoint DP from A4, which shares the ablation suite).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_core::ext::checkpoint::{solve_chain, CheckpointCost};
+use ea_core::ext::power;
+use ea_core::reliability::ReliabilityModel;
+use ea_taskgraph::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_power_and_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a03_power_exponent");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        let tree = generators::random_sp_tree(n, 0.5, 2.5, 5);
+        group.bench_with_input(BenchmarkId::new("sp_alpha_speeds", n), &n, |b, _| {
+            b.iter(|| power::sp_optimal_speeds(black_box(&tree), 10.0, 2.5))
+        });
+    }
+    let rel = ReliabilityModel::new(0.01, 3.0, 1.0, 2.0, 1.8);
+    for &n in &[16usize, 64] {
+        let w = generators::random_weights(n, 0.5, 1.5, 13);
+        let d = 3.0 * w.iter().sum::<f64>() / rel.fmax;
+        let cost = CheckpointCost { time: 0.1, energy: 0.1 };
+        group.bench_with_input(BenchmarkId::new("checkpoint_dp", n), &n, |b, _| {
+            b.iter(|| solve_chain(black_box(&w), d, &rel, &cost).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_power_and_checkpoint);
+criterion_main!(benches);

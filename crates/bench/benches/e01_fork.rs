@@ -1,0 +1,48 @@
+//! E1 bench: the fork closed form (O(n)) vs the convex solver (O(n³) per
+//! Newton step) on CONTINUOUS BI-CRIT. Regenerates the timing columns of
+//! the E1 table; the energy agreement itself is asserted in unit tests
+//! and by `--bin experiments`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::workloads;
+use ea_convex::BarrierOptions;
+use ea_core::bicrit::continuous;
+use ea_taskgraph::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fork(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_fork");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+    for &n in &[8usize, 32, 128] {
+        let ws = generators::random_weights(n, 0.5, 2.5, n as u64);
+        let d = 3.0 * (1.5 + 2.5) / 2.0;
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &n, |b, _| {
+            b.iter(|| {
+                continuous::fork_theorem(black_box(1.5), black_box(&ws), d, 1e-6, 2.0)
+                    .expect("feasible")
+            })
+        });
+    }
+    for &n in &[8usize, 32] {
+        let inst = workloads::fork_instance(n, 3.0, n as u64);
+        group.bench_with_input(BenchmarkId::new("convex_solver", n), &n, |b, _| {
+            b.iter(|| {
+                continuous::solve_general(
+                    black_box(inst.augmented_dag()),
+                    inst.deadline,
+                    1e-6,
+                    2.0,
+                    &BarrierOptions::default(),
+                )
+                .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fork);
+criterion_main!(benches);

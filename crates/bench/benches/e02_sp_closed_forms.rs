@@ -1,0 +1,47 @@
+//! E2 bench: SP recognition + equivalent-weight closed form vs the convex
+//! solver on series-parallel DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_convex::BarrierOptions;
+use ea_core::bicrit::continuous;
+use ea_taskgraph::{analysis, generators, SpTree};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_sp");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+    for &n in &[16usize, 64, 256] {
+        let tree = generators::random_sp_tree(n, 0.5, 2.5, 7);
+        let dag = tree.to_dag();
+        let d = 1.5 * analysis::critical_path_length(&dag, dag.weights());
+        group.bench_with_input(BenchmarkId::new("recognise_and_solve", n), &n, |b, _| {
+            b.iter(|| {
+                let t = SpTree::from_dag(black_box(&dag)).expect("SP");
+                continuous::sp_optimal(&t, d)
+            })
+        });
+    }
+    // The numerical reference at a single comparable size.
+    let tree = generators::random_sp_tree(24, 0.5, 2.5, 7);
+    let dag = tree.to_dag();
+    let d = 1.5 * analysis::critical_path_length(&dag, dag.weights());
+    group.bench_function("convex_reference_n24", |b| {
+        b.iter(|| {
+            continuous::solve_general(
+                black_box(&dag),
+                d,
+                1e-6,
+                1e6,
+                &BarrierOptions::default(),
+            )
+            .expect("feasible")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sp);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E3 bench: the VDD-HOPPING linear program — polynomial scaling in the
+//! task count and the mode count (the paper's Section IV positive result).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::workloads;
+use ea_core::bicrit::vdd;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_vdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_vdd_lp");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &(layers, width) in &[(4usize, 3usize), (6, 4), (8, 5)] {
+        let inst = workloads::layered_instance(layers, width, width, 1.6, 42);
+        let modes = workloads::standard_modes(5);
+        let n = inst.n_tasks();
+        group.bench_with_input(BenchmarkId::new("tasks", n), &n, |b, _| {
+            b.iter(|| {
+                vdd::solve(black_box(inst.augmented_dag()), inst.deadline, &modes)
+                    .expect("feasible")
+            })
+        });
+    }
+    let inst = workloads::layered_instance(5, 4, 4, 1.6, 42);
+    for &m in &[3usize, 5, 9] {
+        let modes = workloads::standard_modes(m);
+        group.bench_with_input(BenchmarkId::new("modes", m), &m, |b, _| {
+            b.iter(|| {
+                vdd::solve(black_box(inst.augmented_dag()), inst.deadline, &modes)
+                    .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vdd);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E4 bench: exact DISCRETE B&B on 2-PARTITION gadget instances — the
+//! exponential wall (NP-completeness made measurable), and how much the
+//! VDD LP relaxation bound flattens it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_core::bicrit::discrete::{self, BnbBound};
+use ea_core::reductions;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn gadget(n: usize) -> reductions::TwoPartitionGadget {
+    let a: Vec<u64> = (0..n as u64).map(|i| 2 * i + 3).collect(); // odd sum: no-instance
+    reductions::two_partition_gadget(&a).expect("valid gadget")
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_discrete_exact");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &n in &[8usize, 10, 12] {
+        let g = gadget(n);
+        group.bench_with_input(BenchmarkId::new("bnb_simple", n), &n, |b, _| {
+            b.iter(|| {
+                discrete::solve_bnb(
+                    black_box(g.instance.augmented_dag()),
+                    g.instance.deadline,
+                    &g.modes,
+                    BnbBound::Simple,
+                )
+                .expect("feasible")
+            })
+        });
+    }
+    for &n in &[8usize, 12] {
+        let g = gadget(n);
+        group.bench_with_input(BenchmarkId::new("bnb_lp_bound", n), &n, |b, _| {
+            b.iter(|| {
+                discrete::solve_bnb(
+                    black_box(g.instance.augmented_dag()),
+                    g.instance.deadline,
+                    &g.modes,
+                    BnbBound::VddRelaxation,
+                )
+                .expect("feasible")
+            })
+        });
+    }
+    // The pseudo-polynomial DP on the same family: polynomial in D.
+    for &n in &[8usize, 12] {
+        let a: Vec<u64> = (0..n as u64).map(|i| 2 * i + 3).collect();
+        let durations: Vec<Vec<u64>> = a.iter().map(|&x| vec![2 * x, x]).collect();
+        let energies: Vec<Vec<f64>> = a.iter().map(|&x| vec![x as f64, 4.0 * x as f64]).collect();
+        let tmax = 3 * a.iter().sum::<u64>() / 2;
+        group.bench_with_input(BenchmarkId::new("chain_dp", n), &n, |b, _| {
+            b.iter(|| {
+                discrete::chain_dp_integral(black_box(&durations), &energies, tmax)
+                    .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E5 bench: the INCREMENTAL approximation — polynomial in the instance
+//! size and in K (the paper's claim), across grid resolutions δ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::workloads;
+use ea_core::bicrit::incremental;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_incremental");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let inst = workloads::layered_instance(5, 3, 3, 1.7, 7);
+    for &delta in &[0.5, 0.1, 0.02] {
+        group.bench_with_input(
+            BenchmarkId::new("delta", format!("{delta}")),
+            &delta,
+            |b, &delta| {
+                b.iter(|| {
+                    incremental::solve(
+                        black_box(inst.augmented_dag()),
+                        inst.deadline,
+                        1.0,
+                        2.0,
+                        delta,
+                        10,
+                    )
+                    .expect("feasible")
+                })
+            },
+        );
+    }
+    for &k in &[1usize, 100, 10000] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| {
+                incremental::solve(
+                    black_box(inst.augmented_dag()),
+                    inst.deadline,
+                    1.0,
+                    2.0,
+                    0.1,
+                    k,
+                )
+                .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E6 bench: TRI-CRIT chain — the polynomial greedy strategy vs the
+//! exponential exhaustive optimum (NP-hardness of the subset choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::workloads;
+use ea_core::tricrit::chain;
+use ea_taskgraph::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_chain(c: &mut Criterion) {
+    let rel = workloads::standard_reliability();
+    let mut group = c.benchmark_group("e06_tricrit_chain");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &n in &[16usize, 64, 128] {
+        let w = generators::random_weights(n, 0.5, 2.5, 99);
+        let d = 2.0 * w.iter().sum::<f64>() / rel.fmax;
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| chain::solve_greedy(black_box(&w), d, &rel).expect("feasible"))
+        });
+    }
+    for &n in &[8usize, 12, 14] {
+        let w = generators::random_weights(n, 0.5, 2.5, 99);
+        let d = 2.0 * w.iter().sum::<f64>() / rel.fmax;
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            b.iter(|| chain::solve_exhaustive(black_box(&w), d, &rel).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

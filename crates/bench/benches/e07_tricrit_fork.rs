@@ -1,0 +1,39 @@
+//! E7 bench: the polynomial TRI-CRIT fork algorithm vs the exponential
+//! brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::workloads;
+use ea_core::tricrit::fork;
+use ea_taskgraph::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fork(c: &mut Criterion) {
+    let rel = workloads::standard_reliability();
+    let mut group = c.benchmark_group("e07_tricrit_fork");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &n in &[16usize, 64, 256] {
+        let ws = generators::random_weights(n, 0.5, 2.5, 5);
+        let base = 1.5 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+        let d = 2.5 * base;
+        group.bench_with_input(BenchmarkId::new("polynomial", n), &n, |b, _| {
+            b.iter(|| fork::solve(black_box(1.5), &ws, d, &rel).expect("feasible"))
+        });
+    }
+    for &n in &[6usize, 10] {
+        let ws = generators::random_weights(n, 0.5, 2.5, 5);
+        let base = 1.5 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+        let d = 2.5 * base;
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| {
+                fork::solve_brute_force(black_box(1.5), &ws, d, &rel, 100).expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fork);
+criterion_main!(benches);

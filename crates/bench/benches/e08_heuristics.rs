@@ -1,0 +1,31 @@
+//! E8 bench: the two TRI-CRIT heuristic families and their best-of across
+//! the DAG-family axis (chain-like → highly parallel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::workloads;
+use ea_core::tricrit::heuristics;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let rel = workloads::standard_reliability();
+    let mut group = c.benchmark_group("e08_heuristics");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for (label, inst) in workloads::e8_families(1.8, 11) {
+        group.bench_with_input(BenchmarkId::new("heuristic_a", label), &(), |b, _| {
+            b.iter(|| heuristics::heuristic_a(black_box(&inst), &rel).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("heuristic_b", label), &(), |b, _| {
+            b.iter(|| heuristics::heuristic_b(black_box(&inst), &rel).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("best_of", label), &(), |b, _| {
+            b.iter(|| heuristics::best_of(black_box(&inst), &rel).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

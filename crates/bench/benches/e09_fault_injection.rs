@@ -1,0 +1,47 @@
+//! E9 bench: the fault-injection simulator — single-run cost and the
+//! parallel Monte-Carlo harness throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::workloads;
+use ea_core::platform::Mapping;
+use ea_core::schedule::{Schedule, TaskSchedule};
+use ea_sim::{run_monte_carlo, simulate};
+use ea_taskgraph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sim(c: &mut Criterion) {
+    let rel = workloads::hot_reliability();
+    let mut group = c.benchmark_group("e09_fault_injection");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &n in &[10usize, 100, 1000] {
+        let w = generators::random_weights(n, 0.5, 1.5, 21);
+        let dag = generators::chain(&w);
+        let mapping = Mapping::single_processor((0..n).collect());
+        let sched = Schedule {
+            tasks: (0..n).map(|_| TaskSchedule::twice(1.5, 1.5)).collect(),
+        };
+        group.bench_with_input(BenchmarkId::new("single_run", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| simulate(black_box(&dag), &mapping, &sched, &rel, &mut rng))
+        });
+    }
+    let n = 20usize;
+    let w = generators::random_weights(n, 0.5, 1.5, 21);
+    let dag = generators::chain(&w);
+    let mapping = Mapping::single_processor((0..n).collect());
+    let sched = Schedule::uniform(n, 1.5);
+    for &runs in &[1000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("monte_carlo", runs), &runs, |b, &runs| {
+            b.iter(|| run_monte_carlo(black_box(&dag), &mapping, &sched, &rel, runs, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

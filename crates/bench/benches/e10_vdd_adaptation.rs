@@ -1,0 +1,33 @@
+//! E10 bench: adapting a continuous TRI-CRIT solution to VDD-HOPPING mode
+//! sets of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::workloads;
+use ea_core::speed::SpeedModel;
+use ea_core::tricrit::{chain, vdd};
+use ea_taskgraph::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_adaptation(c: &mut Criterion) {
+    let rel = workloads::standard_reliability();
+    let w = generators::random_weights(32, 0.5, 2.5, 31);
+    let d = 2.0 * w.iter().sum::<f64>() / rel.fmax;
+    let cont = chain::solve_greedy(&w, d, &rel).expect("feasible");
+    let dag = generators::chain(&w);
+
+    let mut group = c.benchmark_group("e10_vdd_adaptation");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+    for &m in &[2usize, 5, 17] {
+        let model = SpeedModel::vdd_hopping(workloads::standard_modes(m));
+        group.bench_with_input(BenchmarkId::new("modes", m), &m, |b, _| {
+            b.iter(|| vdd::adapt(black_box(&dag), &cont, &rel, &model).expect("adaptable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptation);
+criterion_main!(benches);

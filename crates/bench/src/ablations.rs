@@ -1,0 +1,237 @@
+//! Ablations (A1–A3): the paper's future-work directions, measured.
+//!
+//! * A1 — replication vs. re-execution on forks, across deadline
+//!   tightness and spare-processor budgets (paper, Section V).
+//! * A2 — list-scheduling policy vs. downstream BI-CRIT energy
+//!   (paper, Section V).
+//! * A3 — the power exponent α: how the closed-form optimum and the
+//!   energy savings shift between the quadratic and cubic models.
+
+use crate::table::{fmt_f, Table};
+use crate::workloads;
+use ea_core::bicrit::continuous;
+use ea_core::ext::{mapping, power, replication};
+use ea_core::instance::Instance;
+use ea_core::platform::Platform;
+use ea_core::tricrit;
+use ea_taskgraph::generators;
+
+/// A1 — replication vs re-execution on a fork, sweeping deadline
+/// tightness × spare budget.
+pub fn a01_replication() -> Vec<Table> {
+    let rel = workloads::standard_reliability();
+    let ws = generators::random_weights(8, 1.2, 2.2, 3);
+    let w0 = 1.0;
+    let base = w0 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+    let mut t = Table::new(
+        "A1: replication vs re-execution on a fork (8 branches)",
+        &["D mult", "spares", "energy", "#replicated", "#re-executed", "vs re-exec only %"],
+    );
+    for &mult in &[1.25, 1.6, 2.5] {
+        let d = mult * base;
+        let Ok(reexec_only) = replication::solve_fork(w0, &ws, d, &rel, 0) else {
+            continue;
+        };
+        for &spares in &[0usize, 2, 4, 8] {
+            let sol = replication::solve_fork(w0, &ws, d, &rel, spares).expect("feasible");
+            let n_rep = sol
+                .decisions
+                .iter()
+                .filter(|dc| dc.strategy == replication::Strategy::Replicate)
+                .count();
+            let n_re = sol
+                .decisions
+                .iter()
+                .filter(|dc| dc.strategy == replication::Strategy::ReExecute)
+                .count();
+            t.push(vec![
+                fmt_f(mult),
+                spares.to_string(),
+                fmt_f(sol.energy),
+                n_rep.to_string(),
+                n_re.to_string(),
+                format!("{:+.2}", 100.0 * (sol.energy / reexec_only.energy - 1.0)),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// A2 — mapping policy vs downstream CONTINUOUS BI-CRIT energy.
+pub fn a02_mapping() -> Vec<Table> {
+    let mut t = Table::new(
+        "A2: list-scheduling policy vs downstream BI-CRIT energy (3 procs)",
+        &["DAG", "policy", "makespan@fmax", "E continuous", "E vs EF %"],
+    );
+    let fmax = 2.0;
+    let dags: Vec<(&str, ea_taskgraph::Dag)> = vec![
+        ("layered", generators::random_layered(6, 4, 0.3, 0.5, 2.0, 11)),
+        ("gauss b=4", generators::gaussian_elimination(4, 1.0)),
+        ("stencil 5×5", generators::stencil_wavefront(5, 5, 1.0)),
+    ];
+    for (label, dag) in dags {
+        let mut e_ef = None;
+        for (pname, policy) in [
+            ("earliest-finish", mapping::Policy::EarliestFinish),
+            ("load-balance", mapping::Policy::LoadBalance),
+            ("slack-preserving", mapping::Policy::SlackPreserving),
+        ] {
+            let (m, ms) = mapping::schedule_with_policy(&dag, Platform::new(3), fmax, policy);
+            // Common deadline across policies: 1.5× the EF makespan.
+            let d_ref = match e_ef {
+                None => 1.5 * ms,
+                Some((_, d)) => d,
+            };
+            let Ok(inst) = Instance::new(dag.clone(), Platform::new(3), m, d_ref) else {
+                continue;
+            };
+            let Ok(sol) = continuous::solve(&inst, 0.5, fmax, &Default::default()) else {
+                t.push(vec![
+                    label.into(),
+                    pname.into(),
+                    fmt_f(ms),
+                    "infeasible".into(),
+                    "—".into(),
+                ]);
+                continue;
+            };
+            let base = match e_ef {
+                None => {
+                    e_ef = Some((sol.energy, d_ref));
+                    sol.energy
+                }
+                Some((e, _)) => e,
+            };
+            t.push(vec![
+                label.into(),
+                pname.into(),
+                fmt_f(ms),
+                fmt_f(sol.energy),
+                format!("{:+.2}", 100.0 * (sol.energy / base - 1.0)),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// A3 — the power exponent α ∈ [2, 3]: closed-form energies and the
+/// α-sensitivity of the DVFS savings.
+pub fn a03_power_exponent() -> Vec<Table> {
+    let mut t = Table::new(
+        "A3: power exponent α — SP closed-form energy and savings vs all-fmax",
+        &["α", "E*(D = 1.5·CP)", "E all-fmax", "saved %"],
+    );
+    let tree = generators::random_sp_tree(24, 0.5, 2.5, 5);
+    let dag = tree.to_dag();
+    let fmax = 2.0f64;
+    let cp = ea_taskgraph::analysis::critical_path_length(&dag, dag.weights()) / fmax;
+    let d = 1.5 * cp * fmax; // deadline in the same units as sp_optimal
+    for &alpha in &[2.0, 2.25, 2.5, 2.75, 3.0] {
+        let e_opt = power::sp_optimal_energy(&tree, d, alpha);
+        let e_fmax: f64 = dag.weights().iter().map(|w| w * fmax.powf(alpha - 1.0)).sum();
+        t.push(vec![
+            fmt_f(alpha),
+            fmt_f(e_opt),
+            fmt_f(e_fmax),
+            format!("{:.1}", 100.0 * (1.0 - e_opt / e_fmax)),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "A3b: generalised fork theorem sanity (α = 3 equals the paper's formula)",
+        &["α", "E fork(α)", "E fork theorem (α=3)"],
+    );
+    let ws = [1.0, 3.0, 2.0];
+    let th = continuous::fork_theorem(2.0, &ws, 10.0, 1e-9, 1e9)
+        .expect("feasible")
+        .energy;
+    for &alpha in &[2.0, 2.5, 3.0] {
+        t2.push(vec![
+            fmt_f(alpha),
+            fmt_f(power::fork_energy(2.0, &ws, 10.0, alpha)),
+            fmt_f(th),
+        ]);
+    }
+    vec![t, t2]
+}
+
+/// A4 — checkpointing vs task-level re-execution on chains (Section II's
+/// third fault-tolerance mechanism).
+pub fn a04_checkpoint() -> Vec<Table> {
+    use ea_core::ext::checkpoint::{solve_chain, CheckpointCost};
+    // A hot model so reliability actually constrains segment lengths.
+    let rel = ea_core::reliability::ReliabilityModel::new(0.01, 3.0, 1.0, 2.0, 1.8);
+    let w = generators::random_weights(20, 0.5, 1.5, 13);
+    let total: f64 = w.iter().sum();
+    let mut t = Table::new(
+        "A4: checkpointing on a chain (worst-case semantics) vs re-execution",
+        &["D mult", "ckpt cost", "segments", "speed", "E ckpt (worst)", "E re-exec (worst)"],
+    );
+    for &mult in &[2.5, 3.5] {
+        let d = mult * total / rel.fmax;
+        for &c in &[0.05, 0.4] {
+            let cost = CheckpointCost { time: c, energy: c };
+            let Ok(plan) = solve_chain(&w, d, &rel, &cost) else {
+                t.push(vec![
+                    fmt_f(mult),
+                    fmt_f(c),
+                    "—".into(),
+                    "—".into(),
+                    "infeasible".into(),
+                    "—".into(),
+                ]);
+                continue;
+            };
+            let re = tricrit::chain::solve_greedy(&w, d, &rel)
+                .map(|s| fmt_f(s.energy))
+                .unwrap_or_else(|_| "infeasible".into());
+            t.push(vec![
+                fmt_f(mult),
+                fmt_f(c),
+                plan.segments.len().to_string(),
+                format!("{:.3}", plan.speed),
+                fmt_f(plan.worst_energy),
+                re,
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Runs all ablations.
+pub fn run_all() -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(a01_replication());
+    out.extend(a02_mapping());
+    out.extend(a03_power_exponent());
+    out.extend(a04_checkpoint());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a01_has_rows_and_spares_help_or_tie() {
+        let t = &a01_replication()[0];
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            let delta: f64 = row[5].parse().expect("delta cell");
+            assert!(delta <= 1e-6, "spares must never increase energy: {delta}");
+        }
+    }
+
+    #[test]
+    fn a03_alpha3_matches_theorem() {
+        let t2 = &a03_power_exponent()[1];
+        let last = t2.rows.last().expect("rows");
+        assert_eq!(last[1], last[2], "α = 3 must reproduce the fork theorem");
+    }
+
+    #[test]
+    fn a04_runs() {
+        let t = &a04_checkpoint()[0];
+        assert!(!t.rows.is_empty());
+    }
+}

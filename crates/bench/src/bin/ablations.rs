@@ -1,0 +1,18 @@
+//! Prints the ablation tables A1–A4 (the paper's future-work directions).
+//!
+//! ```text
+//! cargo run -p ea-bench --bin ablations --release [-- --md]
+//! ```
+
+use ea_bench::ablations;
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--md");
+    for t in ablations::run_all() {
+        if markdown {
+            println!("{}", t.to_markdown());
+        } else {
+            println!("{t}");
+        }
+    }
+}

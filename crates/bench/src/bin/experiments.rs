@@ -1,0 +1,52 @@
+//! Regenerates every experiment table (E1–E10).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p ea-bench --bin experiments --release            # all, text
+//! cargo run -p ea-bench --bin experiments --release -- --md    # markdown
+//! cargo run -p ea-bench --bin experiments --release -- e3 e5   # a subset
+//! ```
+
+use ea_bench::experiments as ex;
+use ea_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--md");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    type Generator = fn() -> Vec<Table>;
+    let suite: Vec<(&str, Generator)> = vec![
+        ("e1", ex::e01_fork_closed_form),
+        ("e2", ex::e02_sp_closed_forms),
+        ("e3", ex::e03_vdd_lp),
+        ("e4", ex::e04_discrete_exact),
+        ("e5", ex::e05_incremental_approx),
+        ("e6", ex::e06_tricrit_chain),
+        ("e7", ex::e07_tricrit_fork),
+        ("e8", ex::e08_heuristics),
+        ("e9", ex::e09_fault_injection),
+        ("e10", ex::e10_vdd_adaptation),
+    ];
+
+    for (name, f) in suite {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == name) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let tables = f();
+        let secs = t0.elapsed().as_secs_f64();
+        for t in &tables {
+            if markdown {
+                println!("{}", t.to_markdown());
+            } else {
+                println!("{t}");
+            }
+        }
+        eprintln!("[{name} done in {secs:.2}s]\n");
+    }
+}

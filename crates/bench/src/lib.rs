@@ -1,0 +1,28 @@
+//! # ea-bench
+//!
+//! The experiment harness of the reproduction. The paper is a theory
+//! paper — its "evaluation" is a set of theorems and complexity claims —
+//! so every experiment validates one claim empirically (see DESIGN.md §4
+//! for the claim ↔ experiment map):
+//!
+//! | experiment | claim |
+//! |------------|-------|
+//! | E1  | fork closed form = numerical optimum |
+//! | E2  | chain/tree/SP closed forms = numerical optimum |
+//! | E3  | VDD-HOPPING LP: polynomial, ≤ 2 adjacent modes per task |
+//! | E4  | DISCRETE is NP-complete: exact search blows up; 2-PARTITION gadget |
+//! | E5  | INCREMENTAL approximation ratio ≤ (1+δ/f_min)²(1+1/K)² |
+//! | E6  | TRI-CRIT chain strategy ≈ exhaustive optimum |
+//! | E7  | TRI-CRIT fork polynomial algorithm = brute force |
+//! | E8  | heuristics H-A/H-B are complementary; BEST dominates |
+//! | E9  | Eq. (1): re-execution restores DVFS-lost reliability |
+//! | E10 | VDD adaptation loss shrinks with mode count |
+//!
+//! `cargo run -p ea-bench --bin experiments --release` regenerates every
+//! table recorded in EXPERIMENTS.md; the Criterion benches under
+//! `benches/` time the underlying solvers.
+
+pub mod ablations;
+pub mod experiments;
+pub mod table;
+pub mod workloads;

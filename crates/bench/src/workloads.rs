@@ -1,0 +1,115 @@
+//! Canonical workloads shared by the experiments and the Criterion
+//! benches, so both measure the same instances.
+
+use ea_core::instance::Instance;
+use ea_core::platform::Platform;
+use ea_core::reliability::ReliabilityModel;
+use ea_taskgraph::{generators, Dag};
+
+/// The reliability model used by every TRI-CRIT experiment:
+/// `λ₀ = 10⁻⁵`, `d = 3`, speeds in `[1, 2]`, threshold `f_rel = 1.8` —
+/// the regime of the literature the paper builds on (Zhu et al.).
+pub fn standard_reliability() -> ReliabilityModel {
+    ReliabilityModel::typical(1.0, 2.0, 1.8)
+}
+
+/// A "hot" variant (λ₀ = 0.01) for Monte-Carlo experiments: failures are
+/// frequent enough to measure accurately with 10⁴–10⁵ runs while keeping
+/// per-execution probabilities well below 1.
+pub fn hot_reliability() -> ReliabilityModel {
+    ReliabilityModel::new(0.01, 3.0, 1.0, 2.0, 1.8)
+}
+
+/// The mode set used by the discrete-model experiments.
+pub fn standard_modes(m: usize) -> Vec<f64> {
+    assert!(m >= 2);
+    (0..m)
+        .map(|k| 1.0 + (k as f64) * 1.0 / (m as f64 - 1.0))
+        .collect()
+}
+
+/// A random fork instance: source weight 1.5, `n` branches in `[0.5, 2.5)`.
+pub fn fork_instance(n: usize, deadline_mult: f64, seed: u64) -> Instance {
+    let ws = generators::random_weights(n, 0.5, 2.5, seed);
+    let critical = 1.5 / 2.0 + ws.iter().fold(0.0f64, |m, &w| m.max(w)) / 2.0;
+    Instance::fork(1.5, &ws, deadline_mult * critical).expect("valid fork instance")
+}
+
+/// A random chain of `n` tasks with deadline `mult · Σw / f_max`.
+pub fn chain_instance(n: usize, deadline_mult: f64, seed: u64) -> Instance {
+    let w = generators::random_weights(n, 0.5, 2.5, seed);
+    let d = deadline_mult * w.iter().sum::<f64>() / 2.0;
+    Instance::single_chain(&w, d).expect("valid chain instance")
+}
+
+/// A layered random DAG mapped by critical-path list scheduling on
+/// `p` processors; the deadline is `mult ×` the f_max makespan.
+pub fn layered_instance(
+    layers: usize,
+    width: usize,
+    p: usize,
+    deadline_mult: f64,
+    seed: u64,
+) -> Instance {
+    let dag = generators::random_layered(layers, width, 0.35, 0.5, 2.5, seed);
+    let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(p), 2.0, 1e12)
+        .expect("valid layered instance");
+    let d = deadline_mult * inst.makespan_at_uniform_speed(2.0);
+    inst.with_deadline(d).expect("positive deadline")
+}
+
+/// The DAG-family sweep of experiment E8, from chain-like to highly
+/// parallel: (label, instance) pairs at the given deadline multiplier.
+pub fn e8_families(deadline_mult: f64, seed: u64) -> Vec<(&'static str, Instance)> {
+    vec![
+        ("chain", chain_instance(24, deadline_mult, seed)),
+        ("layered w=2", layered_instance(12, 2, 2, deadline_mult, seed)),
+        ("layered w=6", layered_instance(4, 6, 6, deadline_mult, seed)),
+        ("fork", fork_instance(23, deadline_mult, seed)),
+    ]
+}
+
+/// An application-shaped DAG for the examples and E2: a Gaussian
+/// elimination kernel DAG.
+pub fn gauss_dag(b: usize) -> Dag {
+    generators::gaussian_elimination(b, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_feasible_at_fmax() {
+        let rel = standard_reliability();
+        for inst in [
+            chain_instance(10, 1.3, 1),
+            fork_instance(6, 1.3, 2),
+            layered_instance(4, 3, 3, 1.3, 3),
+        ] {
+            assert!(
+                inst.makespan_at_uniform_speed(rel.fmax) <= inst.deadline,
+                "instance must be feasible at fmax"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_modes_span_1_to_2() {
+        let m = standard_modes(5);
+        assert_eq!(m.len(), 5);
+        assert!((m[0] - 1.0).abs() < 1e-12);
+        assert!((m[4] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn e8_families_cover_the_parallelism_axis() {
+        let fams = e8_families(1.5, 9);
+        assert_eq!(fams.len(), 4);
+        let widths: Vec<usize> = fams
+            .iter()
+            .map(|(_, i)| ea_taskgraph::analysis::width_proxy(i.augmented_dag()))
+            .collect();
+        assert!(widths[0] <= widths[3], "families ordered by parallelism");
+    }
+}

@@ -1,0 +1,325 @@
+//! Log-barrier interior-point method.
+//!
+//! Minimises `f(x)` over `A·x ≤ b` by the standard scheme (Boyd &
+//! Vandenberghe, ch. 11): for an increasing sequence of `t`, Newton-minimise
+//! the centring objective `t·f(x) − Σ_r log(s_r)` with slacks
+//! `s = b − A·x`, starting each stage from the previous centre. The duality
+//! gap after a stage is at most `m/t`, giving a certified suboptimality.
+
+use crate::problem::{LinearConstraints, Objective};
+use ea_linalg::{vector, Cholesky, Matrix};
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct BarrierOptions {
+    /// Initial barrier weight `t₀`.
+    pub t0: f64,
+    /// Geometric growth factor `μ` of the barrier weight.
+    pub mu: f64,
+    /// Target duality gap `m/t ≤ tol` (absolute).
+    pub tol: f64,
+    /// Newton decrement threshold terminating each centring stage.
+    pub newton_tol: f64,
+    /// Cap on Newton iterations per stage.
+    pub max_newton: usize,
+    /// Backtracking line-search parameters (Armijo).
+    pub ls_alpha: f64,
+    /// Step shrink factor.
+    pub ls_beta: f64,
+}
+
+impl Default for BarrierOptions {
+    fn default() -> Self {
+        BarrierOptions {
+            t0: 1.0,
+            mu: 20.0,
+            tol: 1e-8,
+            newton_tol: 1e-10,
+            max_newton: 80,
+            ls_alpha: 0.25,
+            ls_beta: 0.5,
+        }
+    }
+}
+
+impl BarrierOptions {
+    /// Options achieving a relative accuracy of roughly `1/K` on the
+    /// objective — the "K" knob of the paper's INCREMENTAL approximation
+    /// factor `(1 + δ/f_min)²·(1 + 1/K)²` (experiment E5).
+    pub fn with_accuracy_k(k: usize) -> Self {
+        let k = k.max(1) as f64;
+        BarrierOptions { tol: 1.0 / k, ..Self::default() }
+    }
+}
+
+/// Result of a successful solve.
+#[derive(Debug, Clone)]
+pub struct ConvexSolution {
+    /// Final (strictly feasible) point.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Certified upper bound on the suboptimality (`m / t_final`).
+    pub gap: f64,
+    /// Total Newton iterations across all barrier stages.
+    pub newton_steps: usize,
+}
+
+/// Solver failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvexError {
+    /// The starting point is not strictly inside `A·x < b`.
+    NotStrictlyFeasible { row: usize, slack: f64 },
+    /// Objective and constraint dimensions disagree.
+    DimensionMismatch,
+    /// The Newton system became numerically singular.
+    Numerical,
+}
+
+impl std::fmt::Display for ConvexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvexError::NotStrictlyFeasible { row, slack } => {
+                write!(f, "start not strictly feasible: row {row} slack {slack:.3e}")
+            }
+            ConvexError::DimensionMismatch => write!(f, "dimension mismatch"),
+            ConvexError::Numerical => write!(f, "numerical failure in Newton solve"),
+        }
+    }
+}
+
+impl std::error::Error for ConvexError {}
+
+/// Minimises `obj` over `cons` starting from a strictly feasible `x0`.
+pub fn solve(
+    obj: &dyn Objective,
+    cons: &LinearConstraints,
+    x0: &[f64],
+    opts: &BarrierOptions,
+) -> Result<ConvexSolution, ConvexError> {
+    let n = obj.dim();
+    if cons.dim() != n || x0.len() != n {
+        return Err(ConvexError::DimensionMismatch);
+    }
+    let m = cons.len();
+    // Strict feasibility check.
+    let slacks = cons.slacks(x0);
+    for (r, &s) in slacks.iter().enumerate() {
+        if s <= 0.0 {
+            return Err(ConvexError::NotStrictlyFeasible { row: r, slack: s });
+        }
+    }
+    if m == 0 {
+        // Unconstrained: plain damped Newton at t = 1.
+        let mut x = x0.to_vec();
+        let steps = newton_centre(obj, cons, &mut x, 1.0, opts)?;
+        let objective = obj.value(&x);
+        return Ok(ConvexSolution { x, objective, gap: 0.0, newton_steps: steps });
+    }
+
+    let mut x = x0.to_vec();
+    let mut t = opts.t0;
+    let mut total_steps = 0usize;
+    loop {
+        total_steps += newton_centre(obj, cons, &mut x, t, opts)?;
+        let gap = m as f64 / t;
+        if gap <= opts.tol {
+            let objective = obj.value(&x);
+            return Ok(ConvexSolution { x, objective, gap, newton_steps: total_steps });
+        }
+        t *= opts.mu;
+    }
+}
+
+/// Barrier-augmented value `t·f(x) − Σ log s`, `+∞` outside the interior.
+fn merit(obj: &dyn Objective, cons: &LinearConstraints, x: &[f64], t: f64) -> f64 {
+    let fv = obj.value(x);
+    if !fv.is_finite() {
+        return f64::INFINITY;
+    }
+    let mut v = t * fv;
+    for s in cons.slacks(x) {
+        if s <= 0.0 {
+            return f64::INFINITY;
+        }
+        v -= s.ln();
+    }
+    v
+}
+
+/// One centring stage: damped Newton on the barrier objective.
+/// Returns the number of Newton iterations.
+// Hessian assembly walks rows with explicit indices on purpose.
+#[allow(clippy::needless_range_loop)]
+fn newton_centre(
+    obj: &dyn Objective,
+    cons: &LinearConstraints,
+    x: &mut Vec<f64>,
+    t: f64,
+    opts: &BarrierOptions,
+) -> Result<usize, ConvexError> {
+    let n = obj.dim();
+    let a = cons.matrix();
+    let mut g = vec![0.0; n];
+    let mut hdiag = vec![0.0; n];
+
+    for iter in 0..opts.max_newton {
+        // Gradient: t·∇f + Aᵀ (1/s).
+        obj.gradient(x, &mut g);
+        for gi in g.iter_mut() {
+            *gi *= t;
+        }
+        let slacks = cons.slacks(x);
+        if !cons.is_empty() {
+            let inv_s: Vec<f64> = slacks.iter().map(|s| 1.0 / s).collect();
+            let at_inv = a.mul_vec_transposed(&inv_s);
+            vector::axpy(1.0, &at_inv, &mut g);
+        }
+
+        // Hessian: t·diag(∇²f) + Aᵀ diag(1/s²) A  (+ tiny ridge).
+        obj.hessian_diag(x, &mut hdiag);
+        let mut h = Matrix::zeros(n, n);
+        for i in 0..n {
+            h[(i, i)] = t * hdiag[i] + 1e-12;
+        }
+        for r in 0..cons.len() {
+            let w = 1.0 / (slacks[r] * slacks[r]);
+            let row = a.row(r);
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                let wri = w * ri;
+                for j in 0..n {
+                    if row[j] != 0.0 {
+                        h[(i, j)] += wri * row[j];
+                    }
+                }
+            }
+        }
+
+        let chol = Cholesky::new(&h).map_err(|_| ConvexError::Numerical)?;
+        let step = {
+            let mut neg_g = g.clone();
+            for v in neg_g.iter_mut() {
+                *v = -*v;
+            }
+            chol.solve(&neg_g)
+        };
+
+        // Newton decrement λ² = −gᵀ·step.
+        let lambda2 = -vector::dot(&g, &step);
+        if lambda2 / 2.0 <= opts.newton_tol {
+            return Ok(iter);
+        }
+
+        // Backtracking line search on the barrier merit.
+        let m0 = merit(obj, cons, x, t);
+        let mut alpha = 1.0;
+        let mut accepted = false;
+        for _ in 0..60 {
+            let trial: Vec<f64> = x.iter().zip(&step).map(|(xi, si)| xi + alpha * si).collect();
+            let mt = merit(obj, cons, &trial, t);
+            if mt <= m0 - opts.ls_alpha * alpha * lambda2 {
+                *x = trial;
+                accepted = true;
+                break;
+            }
+            alpha *= opts.ls_beta;
+        }
+        if !accepted {
+            // Step direction exhausted — the point is as centred as the
+            // arithmetic allows.
+            return Ok(iter + 1);
+        }
+    }
+    Ok(opts.max_newton)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Quadratic, SeparablePower};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn quadratic_hits_active_bound() {
+        // min (x−3)² s.t. x ≤ 1  ⇒  x* = 1.
+        let obj = Quadratic { q: vec![2.0], c: vec![3.0] };
+        let cons = LinearConstraints::from_rows(1, &[(vec![(0, 1.0)], 1.0)]);
+        let sol = solve(&obj, &cons, &[0.0], &BarrierOptions::default()).unwrap();
+        assert_close(sol.x[0], 1.0, 1e-5);
+    }
+
+    #[test]
+    fn unconstrained_newton() {
+        let obj = Quadratic { q: vec![1.0, 4.0], c: vec![2.0, -1.0] };
+        let cons = LinearConstraints::new(2);
+        let sol = solve(&obj, &cons, &[0.0, 0.0], &BarrierOptions::default()).unwrap();
+        assert_close(sol.x[0], 2.0, 1e-6);
+        assert_close(sol.x[1], -1.0, 1e-6);
+    }
+
+    #[test]
+    fn chain_energy_closed_form() {
+        // min Σ w_i³/d_i² s.t. Σ d_i ≤ D, d ≥ 0.01 ⇒ d_i = D·w_i/Σw,
+        // E* = (Σw)³/D².
+        let w = [1.0f64, 2.0, 3.0];
+        let d_total = 2.0;
+        let obj = SeparablePower::new(3, w.iter().enumerate().map(|(i, wi)| (i, wi.powi(3))).collect(), 2.0);
+        let mut rows = vec![(vec![(0, 1.0), (1, 1.0), (2, 1.0)], d_total)];
+        for i in 0..3 {
+            rows.push((vec![(i, -1.0)], -0.01)); // d_i ≥ 0.01
+        }
+        let cons = LinearConstraints::from_rows(3, &rows);
+        let x0 = [0.2, 0.2, 0.2];
+        let sol = solve(&obj, &cons, &x0, &BarrierOptions::default()).unwrap();
+        let wsum: f64 = w.iter().sum();
+        assert_close(sol.objective, wsum.powi(3) / (d_total * d_total), 1e-5);
+        for (i, wi) in w.iter().enumerate() {
+            assert_close(sol.x[i], d_total * wi / wsum, 1e-4);
+        }
+    }
+
+    #[test]
+    fn rejects_infeasible_start() {
+        let obj = Quadratic { q: vec![1.0], c: vec![0.0] };
+        let cons = LinearConstraints::from_rows(1, &[(vec![(0, 1.0)], 1.0)]);
+        let err = solve(&obj, &cons, &[2.0], &BarrierOptions::default()).unwrap_err();
+        assert!(matches!(err, ConvexError::NotStrictlyFeasible { .. }));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let obj = Quadratic { q: vec![1.0], c: vec![0.0] };
+        let cons = LinearConstraints::new(2);
+        assert_eq!(
+            solve(&obj, &cons, &[0.0], &BarrierOptions::default()).unwrap_err(),
+            ConvexError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn gap_certificate_shrinks_with_tolerance() {
+        let obj = Quadratic { q: vec![2.0], c: vec![3.0] };
+        let cons = LinearConstraints::from_rows(1, &[(vec![(0, 1.0)], 1.0)]);
+        let loose = solve(&obj, &cons, &[0.0], &BarrierOptions { tol: 1e-2, ..Default::default() })
+            .unwrap();
+        let tight = solve(&obj, &cons, &[0.0], &BarrierOptions { tol: 1e-9, ..Default::default() })
+            .unwrap();
+        assert!(tight.gap < loose.gap);
+        assert!(tight.gap <= 1e-9);
+    }
+
+    #[test]
+    fn accuracy_k_constructor() {
+        let o = BarrierOptions::with_accuracy_k(100);
+        assert!((o.tol - 0.01).abs() < 1e-15);
+        let o1 = BarrierOptions::with_accuracy_k(0);
+        assert!((o1.tol - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ea-convex
+//!
+//! A log-barrier interior-point solver for **separable convex objectives
+//! under linear inequality constraints** — the numerical substrate behind
+//! the paper's CONTINUOUS-model results.
+//!
+//! The paper (Section III) formulates CONTINUOUS BI-CRIT on a general DAG
+//! as a geometric program and appeals to Boyd & Vandenberghe §4.5 for
+//! "efficient numerical schemes". In *duration space* the program is
+//! equivalently a separable convex problem
+//!
+//! ```text
+//! minimise    Σ_i w_i³ / d_i²                 (energy)
+//! subject to  b_i + d_i ≤ b_j   for augmented-DAG edges (i → j)
+//!             b_i + d_i ≤ D,    b_i ≥ 0
+//!             w_i/f_max ≤ d_i ≤ w_i/f_min
+//! ```
+//!
+//! i.e. convex objective + linear constraints, which is exactly the shape
+//! this crate solves with a standard barrier method (damped Newton inner
+//! loop, backtracking line search, geometric barrier schedule). The KKT
+//! systems are solved densely by `ea-linalg` — instance sizes in the
+//! paper's regime are a few hundred variables.
+
+pub mod barrier;
+pub mod problem;
+
+pub use barrier::{solve, BarrierOptions, ConvexError, ConvexSolution};
+pub use problem::{LinearConstraints, Objective, Quadratic, SeparablePower};

@@ -1,0 +1,226 @@
+//! Problem definitions for the barrier solver.
+
+use ea_linalg::Matrix;
+
+/// A smooth convex objective with *separable* curvature (diagonal Hessian).
+///
+/// Separability is not a real restriction here: every objective in this
+/// workspace is a sum of per-task terms (`Σ w_i³/d_i²`, `Σ w_i f_i²`, …).
+pub trait Objective {
+    /// Number of variables.
+    fn dim(&self) -> usize;
+    /// Objective value at `x`. May return `f64::INFINITY` outside the
+    /// domain (the line search backtracks on infinite values).
+    fn value(&self, x: &[f64]) -> f64;
+    /// Gradient at `x` (written into `g`).
+    fn gradient(&self, x: &[f64], g: &mut [f64]);
+    /// Diagonal of the Hessian at `x` (written into `h`).
+    fn hessian_diag(&self, x: &[f64], h: &mut [f64]);
+}
+
+/// `Σ coeff_i / x_i^p` over a subset of the variables — the energy
+/// objective in duration space uses `p = 2`, `coeff_i = w_i³`.
+///
+/// Convex for `x_i > 0`, `p ≥ 1`, `coeff_i ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct SeparablePower {
+    dim: usize,
+    /// `(variable index, coefficient)` terms.
+    terms: Vec<(usize, f64)>,
+    /// The (positive) exponent `p` in `coeff / x^p`.
+    power: f64,
+}
+
+impl SeparablePower {
+    /// Builds `Σ coeff/x^p` over `dim` variables.
+    pub fn new(dim: usize, terms: Vec<(usize, f64)>, power: f64) -> Self {
+        assert!(power >= 1.0, "convexity needs p ≥ 1");
+        for &(v, c) in &terms {
+            assert!(v < dim, "term variable out of range");
+            assert!(c >= 0.0 && c.is_finite(), "coefficients must be ≥ 0");
+        }
+        SeparablePower { dim, terms, power }
+    }
+}
+
+impl Objective for SeparablePower {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let mut v = 0.0;
+        for &(i, c) in &self.terms {
+            if x[i] <= 0.0 {
+                return f64::INFINITY;
+            }
+            v += c / x[i].powf(self.power);
+        }
+        v
+    }
+
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g.fill(0.0);
+        let p = self.power;
+        for &(i, c) in &self.terms {
+            g[i] += -p * c / x[i].powf(p + 1.0);
+        }
+    }
+
+    fn hessian_diag(&self, x: &[f64], h: &mut [f64]) {
+        h.fill(0.0);
+        let p = self.power;
+        for &(i, c) in &self.terms {
+            h[i] += p * (p + 1.0) * c / x[i].powf(p + 2.0);
+        }
+    }
+}
+
+/// Convex quadratic `½ Σ q_i (x_i − c_i)²` (diagonal), used in tests and by
+/// the projection utilities.
+#[derive(Debug, Clone)]
+pub struct Quadratic {
+    /// Per-variable curvature `q_i ≥ 0`.
+    pub q: Vec<f64>,
+    /// Per-variable centre `c_i`.
+    pub c: Vec<f64>,
+}
+
+impl Objective for Quadratic {
+    fn dim(&self) -> usize {
+        self.q.len()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        0.5 * self
+            .q
+            .iter()
+            .zip(&self.c)
+            .zip(x)
+            .map(|((q, c), xi)| q * (xi - c) * (xi - c))
+            .sum::<f64>()
+    }
+
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        for i in 0..x.len() {
+            g[i] = self.q[i] * (x[i] - self.c[i]);
+        }
+    }
+
+    fn hessian_diag(&self, _x: &[f64], h: &mut [f64]) {
+        h.copy_from_slice(&self.q);
+    }
+}
+
+/// The polyhedron `A·x ≤ b` in dense row form.
+#[derive(Debug, Clone)]
+pub struct LinearConstraints {
+    a: Matrix,
+    b: Vec<f64>,
+}
+
+impl LinearConstraints {
+    /// Builds an empty constraint set over `dim` variables.
+    pub fn new(dim: usize) -> Self {
+        LinearConstraints { a: Matrix::zeros(0, dim), b: Vec::new() }
+    }
+
+    /// Builds from sparse rows: each row is `Σ coeffs·x ≤ rhs`.
+    pub fn from_rows(dim: usize, rows: &[(Vec<(usize, f64)>, f64)]) -> Self {
+        let mut a = Matrix::zeros(rows.len(), dim);
+        let mut b = Vec::with_capacity(rows.len());
+        for (r, (coeffs, rhs)) in rows.iter().enumerate() {
+            for &(v, c) in coeffs {
+                assert!(v < dim, "constraint variable out of range");
+                a[(r, v)] += c;
+            }
+            b.push(*rhs);
+        }
+        LinearConstraints { a, b }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.b.len()
+    }
+
+    /// True if there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.b.is_empty()
+    }
+
+    /// Variable dimension.
+    pub fn dim(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Row matrix `A`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Right-hand side `b`.
+    pub fn rhs(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Slacks `s = b − A·x`; all-positive means strictly feasible.
+    pub fn slacks(&self, x: &[f64]) -> Vec<f64> {
+        let ax = self.a.mul_vec(x);
+        self.b.iter().zip(ax).map(|(bi, axi)| bi - axi).collect()
+    }
+
+    /// Worst violation (≤ 0 means feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        self.slacks(x).into_iter().fold(f64::NEG_INFINITY, |m, s| m.max(-s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_power_derivatives() {
+        // f(x) = 8/x², f'(x) = -16/x³, f''(x) = 48/x⁴, at x = 2:
+        let f = SeparablePower::new(1, vec![(0, 8.0)], 2.0);
+        assert!((f.value(&[2.0]) - 2.0).abs() < 1e-12);
+        let mut g = [0.0];
+        f.gradient(&[2.0], &mut g);
+        assert!((g[0] + 2.0).abs() < 1e-12);
+        let mut h = [0.0];
+        f.hessian_diag(&[2.0], &mut h);
+        assert!((h[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separable_power_domain_guard() {
+        let f = SeparablePower::new(1, vec![(0, 1.0)], 2.0);
+        assert!(f.value(&[0.0]).is_infinite());
+        assert!(f.value(&[-1.0]).is_infinite());
+    }
+
+    #[test]
+    fn quadratic_derivatives() {
+        let f = Quadratic { q: vec![2.0], c: vec![3.0] };
+        assert!((f.value(&[5.0]) - 4.0).abs() < 1e-12);
+        let mut g = [0.0];
+        f.gradient(&[5.0], &mut g);
+        assert!((g[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constraints_slack_and_violation() {
+        // x0 + x1 ≤ 3, x0 ≤ 1
+        let c = LinearConstraints::from_rows(
+            2,
+            &[(vec![(0, 1.0), (1, 1.0)], 3.0), (vec![(0, 1.0)], 1.0)],
+        );
+        assert_eq!(c.len(), 2);
+        let s = c.slacks(&[0.5, 1.0]);
+        assert!((s[0] - 1.5).abs() < 1e-12);
+        assert!((s[1] - 0.5).abs() < 1e-12);
+        assert!(c.max_violation(&[0.5, 1.0]) < 0.0);
+        assert!((c.max_violation(&[2.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+}

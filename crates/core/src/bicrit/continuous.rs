@@ -1,0 +1,447 @@
+//! CONTINUOUS BI-CRIT (paper, Section III).
+//!
+//! * Closed forms for chains ([`chain_optimal`]) and forks
+//!   ([`fork_theorem`] — the paper's fork theorem, including the `f_max`
+//!   fallback), generalised to arbitrary series-parallel structures via the
+//!   equivalent-weight algebra ([`sp_optimal`]).
+//! * General DAGs: the geometric program of the paper, solved in duration
+//!   space as a separable convex program by `ea-convex`
+//!   ([`solve_general`]).
+//! * [`solve`] on an [`Instance`] picks the SP fast path when the
+//!   augmented DAG is series-parallel and the closed form stays inside
+//!   `[f_min, f_max]`, and falls back to the convex solver otherwise.
+
+use crate::error::CoreError;
+use crate::instance::Instance;
+use ea_convex::{BarrierOptions, LinearConstraints, SeparablePower};
+use ea_taskgraph::{analysis, Dag, SpTree};
+
+/// A CONTINUOUS solution: one speed per task plus the resulting energy.
+#[derive(Debug, Clone)]
+pub struct ContinuousSolution {
+    /// Per-task speeds, indexed by task id.
+    pub speeds: Vec<f64>,
+    /// Total energy `Σ w_i · f_i²`.
+    pub energy: f64,
+    /// Certified lower bound on the optimal energy (equals `energy` for
+    /// the exact closed forms; `energy − gap` for the convex solver).
+    pub lower_bound: f64,
+}
+
+/// Optimal speeds for a single-processor linear chain: one common speed
+/// `f = max(Σw / D, f_min)` (constant speed is optimal by convexity of the
+/// power function).
+pub fn chain_optimal(
+    weights: &[f64],
+    deadline: f64,
+    fmin: f64,
+    fmax: f64,
+) -> Result<ContinuousSolution, CoreError> {
+    let total: f64 = weights.iter().sum();
+    let f_needed = total / deadline;
+    if f_needed > fmax * (1.0 + 1e-12) {
+        return Err(CoreError::InfeasibleDeadline { required: total / fmax, deadline });
+    }
+    let f = f_needed.max(fmin);
+    let energy = total * f * f;
+    Ok(ContinuousSolution {
+        speeds: vec![f; weights.len()],
+        energy,
+        lower_bound: energy,
+    })
+}
+
+/// The paper's fork theorem (Section III). Task 0 is the source with
+/// weight `w0`; tasks `1..=n` are the independent branches.
+///
+/// * If `f_0 = ((Σ w_i³)^{1/3} + w_0)/D ≤ f_max`: the source runs at `f_0`
+///   and branch `i` at `f_i = f_0 · w_i / (Σ w_i³)^{1/3}`, with optimal
+///   energy `E = ((Σ w_i³)^{1/3} + w_0)³ / D²`.
+/// * Otherwise the source saturates at `f_max` and each branch runs at
+///   `w_i / D'` with `D' = D − w_0/f_max`; if a branch still exceeds
+///   `f_max` the instance is infeasible.
+///
+/// Speeds falling below `f_min` are clamped up to `f_min` (the deadline
+/// stays met; the energy accounts for the clamped speed).
+pub fn fork_theorem(
+    w0: f64,
+    branch_weights: &[f64],
+    deadline: f64,
+    fmin: f64,
+    fmax: f64,
+) -> Result<ContinuousSolution, CoreError> {
+    assert!(!branch_weights.is_empty(), "fork needs at least one branch");
+    let cube_sum: f64 = branch_weights.iter().map(|w| w.powi(3)).sum();
+    let w_par = cube_sum.cbrt();
+    let f0 = (w_par + w0) / deadline;
+
+    let (mut speeds, exact) = if f0 <= fmax * (1.0 + 1e-12) {
+        let mut v = Vec::with_capacity(branch_weights.len() + 1);
+        v.push(f0);
+        for &w in branch_weights {
+            v.push(f0 * w / w_par);
+        }
+        (v, true)
+    } else {
+        // Saturated source.
+        let d_rest = deadline - w0 / fmax;
+        if d_rest <= 0.0 {
+            return Err(CoreError::InfeasibleDeadline {
+                required: w0 / fmax,
+                deadline,
+            });
+        }
+        let mut v = Vec::with_capacity(branch_weights.len() + 1);
+        v.push(fmax);
+        for &w in branch_weights {
+            let f = w / d_rest;
+            if f > fmax * (1.0 + 1e-12) {
+                return Err(CoreError::InfeasibleDeadline {
+                    required: w0 / fmax + w / fmax,
+                    deadline,
+                });
+            }
+            v.push(f);
+        }
+        (v, false)
+    };
+
+    let mut clamped = false;
+    for f in speeds.iter_mut() {
+        if *f < fmin {
+            *f = fmin;
+            clamped = true;
+        }
+    }
+    let energy = energy_of(w0, branch_weights, &speeds);
+    let lower_bound = if exact && !clamped {
+        // The theorem's closed form: ((Σ w_i³)^{1/3} + w_0)³ / D².
+        (w_par + w0).powi(3) / (deadline * deadline)
+    } else {
+        energy
+    };
+    Ok(ContinuousSolution { speeds, energy, lower_bound })
+}
+
+fn energy_of(w0: f64, branch_weights: &[f64], speeds: &[f64]) -> f64 {
+    let mut e = w0 * speeds[0] * speeds[0];
+    for (i, &w) in branch_weights.iter().enumerate() {
+        let f = speeds[i + 1];
+        e += w * f * f;
+    }
+    e
+}
+
+/// Optimal CONTINUOUS speeds on a series-parallel decomposition with
+/// deadline `D`, ignoring the `[f_min, f_max]` box (the caller checks).
+///
+/// Budget splitting: a series node divides its window proportionally to
+/// the children's equivalent weights; a parallel node hands each child the
+/// full window; a leaf of weight `w` with window `T` runs at `w/T`. The
+/// resulting energy is `W(G)³ / D²`.
+///
+/// Returns `(task id, speed)` pairs in DFS-leaf order (ids follow
+/// [`SpTree::effective_ids`]).
+pub fn sp_optimal(tree: &SpTree, deadline: f64) -> (Vec<(usize, f64)>, f64) {
+    let mut out = Vec::with_capacity(tree.task_count());
+    let mut dfs_idx = 0usize;
+    assign(tree, deadline, &mut out, &mut dfs_idx);
+    let w = tree.equivalent_weight();
+    (out, w.powi(3) / (deadline * deadline))
+}
+
+fn assign(tree: &SpTree, window: f64, out: &mut Vec<(usize, f64)>, dfs_idx: &mut usize) {
+    match tree {
+        SpTree::Leaf { weight, task } => {
+            let id = task.unwrap_or(*dfs_idx);
+            out.push((id, weight / window));
+            *dfs_idx += 1;
+        }
+        SpTree::Series(children) => {
+            let total: f64 = children.iter().map(SpTree::equivalent_weight).sum();
+            for c in children {
+                let share = window * c.equivalent_weight() / total;
+                assign(c, share, out, dfs_idx);
+            }
+        }
+        SpTree::Parallel(children) => {
+            for c in children {
+                assign(c, window, out, dfs_idx);
+            }
+        }
+    }
+}
+
+/// General DAGs: the convex program in duration space,
+/// `min Σ w_i³/d_i²` s.t. `b_i + d_i ≤ b_j` on augmented edges,
+/// `b_i + d_i ≤ D`, `b ≥ 0`, `w_i/f_max ≤ d_i ≤ w_i/f_min`.
+// Explicit index loops keep the variable layout [d | b] readable.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_general(
+    aug: &Dag,
+    deadline: f64,
+    fmin: f64,
+    fmax: f64,
+    opts: &BarrierOptions,
+) -> Result<ContinuousSolution, CoreError> {
+    let n = aug.len();
+    if n == 0 {
+        return Ok(ContinuousSolution { speeds: vec![], energy: 0.0, lower_bound: 0.0 });
+    }
+    let w = aug.weights();
+    let dur_fmax: Vec<f64> = w.iter().map(|wi| wi / fmax).collect();
+    let m_fmax = analysis::critical_path_length(aug, &dur_fmax);
+    if m_fmax > deadline * (1.0 + 1e-9) {
+        return Err(CoreError::InfeasibleDeadline { required: m_fmax, deadline });
+    }
+    // No interior (deadline exactly the fmax makespan) or no speed freedom:
+    // the all-fmax schedule is forced/optimal.
+    if m_fmax >= deadline * (1.0 - 1e-7) || (fmax - fmin) < 1e-12 * fmax {
+        let energy: f64 = w.iter().map(|wi| wi * fmax * fmax).sum();
+        return Ok(ContinuousSolution {
+            speeds: vec![fmax; n],
+            energy,
+            lower_bound: 0.0,
+        });
+    }
+
+    // Variables: x = [d_0..d_{n-1}, b_0..b_{n-1}].
+    let dim = 2 * n;
+    let dvar = |i: usize| i;
+    let bvar = |i: usize| n + i;
+
+    let mut rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
+    for &(i, j) in aug.edges() {
+        rows.push((vec![(bvar(i), 1.0), (dvar(i), 1.0), (bvar(j), -1.0)], 0.0));
+    }
+    for i in 0..n {
+        rows.push((vec![(bvar(i), 1.0), (dvar(i), 1.0)], deadline)); // finish ≤ D
+        rows.push((vec![(bvar(i), -1.0)], 0.0)); // b ≥ 0
+        rows.push((vec![(dvar(i), 1.0)], w[i] / fmin)); // d ≤ w/fmin
+        rows.push((vec![(dvar(i), -1.0)], -w[i] / fmax)); // d ≥ w/fmax
+    }
+    let cons = LinearConstraints::from_rows(dim, &rows);
+    let obj = SeparablePower::new(
+        dim,
+        (0..n).map(|i| (dvar(i), w[i].powi(3))).collect(),
+        2.0,
+    );
+
+    // Strictly feasible start: scale the all-fmax durations by
+    // σ ∈ (1, min(D/M, fmax/fmin)) and pad start times.
+    let sigma = (deadline / m_fmax).sqrt().min((fmax / fmin).sqrt());
+    let d0: Vec<f64> = dur_fmax.iter().map(|d| d * sigma).collect();
+    let gamma = (deadline / (sigma * m_fmax) - 1.0).min(0.01) * 0.5;
+    let padded: Vec<f64> = d0.iter().map(|d| d * (1.0 + gamma)).collect();
+    let est = analysis::earliest_start(aug, &padded);
+    let delta = gamma * sigma * m_fmax / (2.0 * (n as f64 + 1.0));
+    let mut x0 = vec![0.0; dim];
+    for i in 0..n {
+        x0[dvar(i)] = d0[i];
+        x0[bvar(i)] = est[i] + delta;
+    }
+
+    let sol = ea_convex::solve(&obj, &cons, &x0, opts)
+        .map_err(|e| CoreError::Numerical(format!("barrier solver: {e}")))?;
+
+    let mut speeds = Vec::with_capacity(n);
+    let mut energy = 0.0;
+    for i in 0..n {
+        let f = (w[i] / sol.x[dvar(i)]).clamp(fmin, fmax);
+        energy += w[i] * f * f;
+        speeds.push(f);
+    }
+    let lower_bound = (sol.objective - sol.gap).max(0.0);
+    Ok(ContinuousSolution { speeds, energy, lower_bound })
+}
+
+/// Solves CONTINUOUS BI-CRIT on an [`Instance`]: tries the exact SP fast
+/// path (when the augmented DAG is series-parallel and the closed form
+/// stays strictly inside the speed box), otherwise runs the convex solver.
+pub fn solve(
+    inst: &Instance,
+    fmin: f64,
+    fmax: f64,
+    opts: &BarrierOptions,
+) -> Result<ContinuousSolution, CoreError> {
+    let aug = inst.augmented_dag();
+    if let Ok(tree) = SpTree::from_dag(aug) {
+        let (pairs, energy) = sp_optimal(&tree, inst.deadline);
+        let in_box = pairs.iter().all(|&(_, f)| f >= fmin && f <= fmax * (1.0 + 1e-12));
+        if in_box {
+            let mut speeds = vec![0.0; aug.len()];
+            for (t, f) in pairs {
+                speeds[t] = f.min(fmax);
+            }
+            return Ok(ContinuousSolution { speeds, energy, lower_bound: energy });
+        }
+    }
+    solve_general(aug, inst.deadline, fmin, fmax, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use ea_taskgraph::generators;
+
+    fn assert_close(a: f64, b: f64, rel: f64) {
+        assert!(
+            (a - b).abs() <= rel * a.abs().max(b.abs()).max(1e-12),
+            "{a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn chain_uniform_speed() {
+        let s = chain_optimal(&[1.0, 2.0, 3.0], 3.0, 0.1, 10.0).unwrap();
+        assert_close(s.speeds[0], 2.0, 1e-12);
+        assert_close(s.energy, 6.0 * 4.0, 1e-12);
+    }
+
+    #[test]
+    fn chain_fmin_clamp() {
+        let s = chain_optimal(&[1.0], 100.0, 0.5, 2.0).unwrap();
+        assert_close(s.speeds[0], 0.5, 1e-12);
+    }
+
+    #[test]
+    fn chain_infeasible() {
+        assert!(chain_optimal(&[10.0], 1.0, 0.5, 2.0).is_err());
+    }
+
+    #[test]
+    fn fork_matches_paper_energy() {
+        let w0 = 2.0;
+        let ws = [1.0, 3.0, 2.0];
+        let d = 10.0;
+        let s = fork_theorem(w0, &ws, d, 1e-6, 100.0).unwrap();
+        let w_par = (1.0f64 + 27.0 + 8.0).cbrt();
+        assert_close(s.speeds[0], (w_par + w0) / d, 1e-12);
+        assert_close(s.speeds[2], s.speeds[0] * 3.0 / w_par, 1e-12);
+        assert_close(s.energy, (w_par + w0).powi(3) / (d * d), 1e-9);
+        assert_close(s.energy, s.lower_bound, 1e-12);
+    }
+
+    #[test]
+    fn fork_fmax_fallback() {
+        // Tight deadline forces the source to fmax.
+        let w0 = 2.0;
+        let ws = [1.0, 1.0];
+        let fmax = 1.0;
+        let d = 3.0; // f0 = (2^{1/3}·1 + 2)/3 > 1 → saturate
+        let s = fork_theorem(w0, &ws, d, 1e-6, fmax).unwrap();
+        assert_close(s.speeds[0], fmax, 1e-12);
+        let d_rest = d - w0 / fmax;
+        assert_close(s.speeds[1], 1.0 / d_rest, 1e-12);
+    }
+
+    #[test]
+    fn fork_infeasible_when_branches_overflow() {
+        assert!(fork_theorem(2.0, &[5.0], 3.0, 1e-6, 1.0).is_err());
+    }
+
+    #[test]
+    fn sp_fork_matches_theorem() {
+        let w0 = 2.0;
+        let ws = [1.0, 3.0, 2.0];
+        let d = 10.0;
+        let tree = SpTree::series(vec![
+            SpTree::leaf(w0),
+            SpTree::parallel(ws.iter().map(|&w| SpTree::leaf(w)).collect()),
+        ]);
+        let (pairs, energy) = sp_optimal(&tree, d);
+        let theorem = fork_theorem(w0, &ws, d, 1e-9, 1e9).unwrap();
+        assert_close(energy, theorem.energy, 1e-9);
+        // first leaf (DFS order) is the source
+        assert_close(pairs[0].1, theorem.speeds[0], 1e-9);
+    }
+
+    #[test]
+    fn convex_matches_fork_theorem() {
+        let w0 = 2.0;
+        let ws = [1.0, 3.0, 2.0];
+        let d = 10.0;
+        let inst = Instance::fork(w0, &ws, d).unwrap();
+        let theorem = fork_theorem(w0, &ws, d, 0.01, 100.0).unwrap();
+        let num = solve_general(inst.augmented_dag(), d, 0.01, 100.0, &BarrierOptions::default())
+            .unwrap();
+        assert_close(num.energy, theorem.energy, 1e-3);
+    }
+
+    #[test]
+    fn convex_matches_chain() {
+        let ws = [1.0, 2.0, 3.0];
+        let d = 4.0;
+        let inst = Instance::single_chain(&ws, d).unwrap();
+        let closed = chain_optimal(&ws, d, 0.01, 100.0).unwrap();
+        let num = solve_general(inst.augmented_dag(), d, 0.01, 100.0, &BarrierOptions::default())
+            .unwrap();
+        assert_close(num.energy, closed.energy, 1e-3);
+    }
+
+    #[test]
+    fn convex_respects_fmax_clamp() {
+        // Deadline exactly at the fmax makespan: forced all-fmax schedule.
+        let ws = [2.0, 2.0];
+        let inst = Instance::single_chain(&ws, 2.0).unwrap();
+        let s = solve_general(inst.augmented_dag(), 2.0, 0.5, 2.0, &BarrierOptions::default())
+            .unwrap();
+        assert_close(s.speeds[0], 2.0, 1e-9);
+        assert_close(s.energy, 16.0, 1e-9);
+    }
+
+    #[test]
+    fn convex_infeasible_deadline() {
+        let inst = Instance::single_chain(&[4.0], 1.0).unwrap();
+        assert!(matches!(
+            solve_general(inst.augmented_dag(), 1.0, 0.5, 2.0, &BarrierOptions::default()),
+            Err(CoreError::InfeasibleDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn instance_solve_uses_sp_fast_path() {
+        let inst = Instance::fork(2.0, &[1.0, 3.0, 2.0], 10.0).unwrap();
+        let s = solve(&inst, 1e-6, 100.0, &BarrierOptions::default()).unwrap();
+        let theorem = fork_theorem(2.0, &[1.0, 3.0, 2.0], 10.0, 1e-6, 100.0).unwrap();
+        assert_close(s.energy, theorem.energy, 1e-9);
+        assert_close(s.lower_bound, s.energy, 1e-9); // exact path
+    }
+
+    #[test]
+    fn instance_solve_falls_back_on_non_sp() {
+        // The "N" DAG on two processors is not SP.
+        let dag = ea_taskgraph::Dag::from_parts(
+            vec![1.0, 1.0, 1.0, 1.0],
+            [(0, 2), (0, 3), (1, 3)],
+        )
+        .unwrap();
+        let mapping = crate::platform::Mapping::new(
+            vec![0, 1, 0, 1],
+            vec![vec![0, 2], vec![1, 3]],
+        )
+        .unwrap();
+        let inst =
+            Instance::new(dag, crate::platform::Platform::new(2), mapping, 8.0).unwrap();
+        let s = solve(&inst, 0.05, 10.0, &BarrierOptions::default()).unwrap();
+        // Sanity: deadline met, energy strictly below all-fmax.
+        let sched = crate::schedule::Schedule::from_speeds(&s.speeds);
+        let ms = sched.makespan(&inst.dag, &inst.mapping).unwrap();
+        assert!(ms <= 8.0 * (1.0 + 1e-6));
+        assert!(s.energy < 4.0 * 100.0);
+    }
+
+    #[test]
+    fn random_sp_closed_form_matches_convex() {
+        for seed in 0..5u64 {
+            let tree = generators::random_sp_tree(10, 0.5, 2.0, seed);
+            let dag = tree.to_dag();
+            let d = 3.0 * analysis::critical_path_length(&dag, dag.weights());
+            let (_, e_closed) = sp_optimal(&tree, d);
+            let num =
+                solve_general(&dag, d, 1e-4, 1e4, &BarrierOptions::default()).unwrap();
+            assert_close(num.energy, e_closed, 5e-3);
+        }
+    }
+}

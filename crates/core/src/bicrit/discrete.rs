@@ -1,0 +1,454 @@
+//! DISCRETE BI-CRIT: exact solvers for the NP-complete case (paper,
+//! Section IV).
+//!
+//! The paper proves BI-CRIT NP-complete under the DISCRETE (and hence
+//! INCREMENTAL) model. We *demonstrate* that complexity:
+//!
+//! * [`solve_bnb`] — exact branch-and-bound over per-task modes, pruned by
+//!   (a) a makespan feasibility bound (remaining tasks at `f_max`) and
+//!   (b) an energy lower bound; optionally the VDD-hopping LP relaxation
+//!   (the polynomial sibling model!) as a much stronger bound.
+//! * [`solve_exhaustive`] — plain `m^n` enumeration, the ground truth for
+//!   tiny instances.
+//! * [`chain_dp_integral`] — a pseudo-polynomial multiple-choice-knapsack
+//!   DP for single-processor instances with integral durations; this is
+//!   the algorithmic face of the 2-PARTITION reduction
+//!   (`crate::reductions`).
+
+use crate::error::CoreError;
+use ea_lp::{Cmp, LpOutcome, LpProblem};
+use ea_taskgraph::{analysis, Dag};
+
+/// Exact solution of DISCRETE BI-CRIT.
+#[derive(Debug, Clone)]
+pub struct DiscreteSolution {
+    /// Chosen mode index per task.
+    pub mode_of: Vec<usize>,
+    /// Chosen speed per task.
+    pub speeds: Vec<f64>,
+    /// Optimal energy.
+    pub energy: f64,
+    /// Search-tree nodes explored (the NP-hardness witness of E4).
+    pub nodes: usize,
+}
+
+/// Bound strategy for the branch-and-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BnbBound {
+    /// Cheap bounds only: per-task minimal-mode energy + fmax feasibility.
+    Simple,
+    /// Additionally solve the VDD-hopping LP relaxation at each node.
+    VddRelaxation,
+}
+
+/// Exact branch-and-bound over per-task modes on the augmented DAG.
+pub fn solve_bnb(
+    aug: &Dag,
+    deadline: f64,
+    modes: &[f64],
+    bound: BnbBound,
+) -> Result<DiscreteSolution, CoreError> {
+    assert!(!modes.is_empty());
+    let n = aug.len();
+    let fmax = *modes.last().expect("non-empty");
+    let fmin = modes[0];
+    let w = aug.weights();
+
+    // Feasibility pre-check at fmax.
+    let dur_fmax: Vec<f64> = w.iter().map(|wi| wi / fmax).collect();
+    let m_fmax = analysis::critical_path_length(aug, &dur_fmax);
+    if m_fmax > deadline * (1.0 + 1e-9) {
+        return Err(CoreError::InfeasibleDeadline { required: m_fmax, deadline });
+    }
+
+    // Branch order: heaviest tasks first (their mode choice moves the
+    // energy most, improving bound quality near the root).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| w[b].partial_cmp(&w[a]).expect("finite weights"));
+
+    // Initial incumbent: cheapest uniformly-feasible mode, else all-fmax.
+    let mut best_energy = f64::INFINITY;
+    let mut best_modes = vec![modes.len() - 1; n];
+    for (k, &f) in modes.iter().enumerate() {
+        let durs: Vec<f64> = w.iter().map(|wi| wi / f).collect();
+        if analysis::critical_path_length(aug, &durs) <= deadline * (1.0 + 1e-9) {
+            best_energy = w.iter().map(|wi| wi * f * f).sum();
+            best_modes = vec![k; n];
+            break;
+        }
+    }
+    if !best_energy.is_finite() {
+        best_energy = w.iter().map(|wi| wi * fmax * fmax).sum();
+    }
+
+    let mut state = Bnb {
+        aug,
+        deadline,
+        modes,
+        order: &order,
+        assignment: vec![usize::MAX; n],
+        durations: dur_fmax.clone(),
+        best_energy,
+        best_modes,
+        nodes: 0,
+        bound_kind: bound,
+        fmin,
+    };
+    state.recurse(0, 0.0);
+
+    let energy = state.best_energy;
+    let mode_of = state.best_modes;
+    let speeds = mode_of.iter().map(|&k| modes[k]).collect();
+    Ok(DiscreteSolution { mode_of, speeds, energy, nodes: state.nodes })
+}
+
+struct Bnb<'a> {
+    aug: &'a Dag,
+    deadline: f64,
+    modes: &'a [f64],
+    order: &'a [usize],
+    /// mode index per task; `usize::MAX` = unassigned
+    assignment: Vec<usize>,
+    /// durations: assigned at their mode, unassigned at fmax (optimistic)
+    durations: Vec<f64>,
+    best_energy: f64,
+    best_modes: Vec<usize>,
+    nodes: usize,
+    bound_kind: BnbBound,
+    fmin: f64,
+}
+
+impl Bnb<'_> {
+    fn recurse(&mut self, depth: usize, energy_assigned: f64) {
+        self.nodes += 1;
+        // Feasibility: unassigned tasks optimistically at fmax.
+        let ms = analysis::critical_path_length(self.aug, &self.durations);
+        if ms > self.deadline * (1.0 + 1e-9) {
+            return;
+        }
+        // Energy lower bound for the remainder.
+        let lb = energy_assigned + self.remaining_bound(depth);
+        if lb >= self.best_energy * (1.0 - 1e-12) {
+            return;
+        }
+        if depth == self.order.len() {
+            if energy_assigned < self.best_energy {
+                self.best_energy = energy_assigned;
+                self.best_modes = self.assignment.clone();
+            }
+            return;
+        }
+        let t = self.order[depth];
+        let w = self.aug.weight(t);
+        // Try slow (cheap) modes first: first feasible completion becomes a
+        // good incumbent early.
+        for k in 0..self.modes.len() {
+            let f = self.modes[k];
+            self.assignment[t] = k;
+            let saved = self.durations[t];
+            self.durations[t] = w / f;
+            self.recurse(depth + 1, energy_assigned + w * f * f);
+            self.durations[t] = saved;
+        }
+        self.assignment[t] = usize::MAX;
+    }
+
+    /// Lower bound on the energy of the unassigned suffix.
+    fn remaining_bound(&mut self, depth: usize) -> f64 {
+        match self.bound_kind {
+            BnbBound::Simple => {
+                // Every unassigned task costs at least w·fmin².
+                self.order[depth..]
+                    .iter()
+                    .map(|&t| self.aug.weight(t) * self.fmin * self.fmin)
+                    .sum()
+            }
+            BnbBound::VddRelaxation => self.vdd_bound(depth),
+        }
+    }
+
+    /// VDD LP relaxation with assigned tasks frozen at their duration.
+    fn vdd_bound(&mut self, depth: usize) -> f64 {
+        let n = self.aug.len();
+        let m = self.modes.len();
+        let unassigned: Vec<usize> = self.order[depth..].to_vec();
+        if unassigned.is_empty() {
+            return 0.0;
+        }
+        let col_of: std::collections::HashMap<usize, usize> =
+            unassigned.iter().enumerate().map(|(c, &t)| (t, c)).collect();
+        let alpha = |c: usize, k: usize| c * m + k;
+        let bvar = |i: usize| unassigned.len() * m + i;
+        let mut lp = LpProblem::new(unassigned.len() * m + n);
+        for (c, &t) in unassigned.iter().enumerate() {
+            for (k, &f) in self.modes.iter().enumerate() {
+                lp.set_objective(alpha(c, k), f * f * f);
+            }
+            let coeffs: Vec<(usize, f64)> = self
+                .modes
+                .iter()
+                .enumerate()
+                .map(|(k, &f)| (alpha(c, k), f))
+                .collect();
+            lp.add_constraint(&coeffs, Cmp::Eq, self.aug.weight(t));
+        }
+        // duration expression helper rows
+        let dur_row = |t: usize, sign: f64, coeffs: &mut Vec<(usize, f64)>, rhs: &mut f64| {
+            if let Some(&c) = col_of.get(&t) {
+                for k in 0..m {
+                    coeffs.push((alpha(c, k), sign));
+                }
+            } else {
+                *rhs -= sign * self.durations[t];
+            }
+        };
+        for &(i, j) in self.aug.edges() {
+            let mut coeffs: Vec<(usize, f64)> = vec![(bvar(i), 1.0), (bvar(j), -1.0)];
+            let mut rhs = 0.0;
+            dur_row(i, 1.0, &mut coeffs, &mut rhs);
+            lp.add_constraint(&coeffs, Cmp::Le, rhs);
+        }
+        for i in 0..n {
+            let mut coeffs: Vec<(usize, f64)> = vec![(bvar(i), 1.0)];
+            let mut rhs = self.deadline;
+            dur_row(i, 1.0, &mut coeffs, &mut rhs);
+            lp.add_constraint(&coeffs, Cmp::Le, rhs);
+        }
+        match lp.solve() {
+            LpOutcome::Optimal(s) => s.objective,
+            LpOutcome::Infeasible => f64::INFINITY, // prune: no completion exists
+            _ => 0.0,                               // defensive: no pruning
+        }
+    }
+}
+
+/// Plain `m^n` enumeration (ground truth for tiny instances).
+pub fn solve_exhaustive(
+    aug: &Dag,
+    deadline: f64,
+    modes: &[f64],
+) -> Result<DiscreteSolution, CoreError> {
+    let n = aug.len();
+    let m = modes.len();
+    assert!(
+        (m as f64).powi(n as i32) <= 5e7,
+        "exhaustive search limited to tiny instances"
+    );
+    let w = aug.weights();
+    let mut assignment = vec![0usize; n];
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut nodes = 0usize;
+    loop {
+        nodes += 1;
+        let durs: Vec<f64> = (0..n).map(|i| w[i] / modes[assignment[i]]).collect();
+        if analysis::critical_path_length(aug, &durs) <= deadline * (1.0 + 1e-9) {
+            let e: f64 = (0..n)
+                .map(|i| {
+                    let f = modes[assignment[i]];
+                    w[i] * f * f
+                })
+                .sum();
+            if best.as_ref().is_none_or(|(be, _)| e < *be) {
+                best = Some((e, assignment.clone()));
+            }
+        }
+        // increment assignment like a base-m counter
+        let mut pos = 0;
+        loop {
+            if pos == n {
+                let (energy, mode_of) = best.ok_or(CoreError::InfeasibleDeadline {
+                    required: f64::NAN,
+                    deadline,
+                })?;
+                let speeds = mode_of.iter().map(|&k| modes[k]).collect();
+                return Ok(DiscreteSolution { mode_of, speeds, energy, nodes });
+            }
+            assignment[pos] += 1;
+            if assignment[pos] < m {
+                break;
+            }
+            assignment[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Pseudo-polynomial DP for a single processor with **integral durations**:
+/// `durations[i][k]` is the (scaled integer) duration of task `i` under
+/// mode `k`, `energies[i][k]` its energy; the budget is `tmax`.
+///
+/// Returns the minimum energy and the chosen mode per task, or `None` if no
+/// choice fits the budget. Classic multiple-choice knapsack,
+/// `O(n · m · tmax)` — polynomial in the *value* of the deadline, which is
+/// exactly what NP-completeness permits.
+pub fn chain_dp_integral(
+    durations: &[Vec<u64>],
+    energies: &[Vec<f64>],
+    tmax: u64,
+) -> Option<(f64, Vec<usize>)> {
+    let n = durations.len();
+    assert_eq!(energies.len(), n);
+    let t = tmax as usize;
+    const INF: f64 = f64::INFINITY;
+    // dp[time] = min energy to schedule the processed prefix in ≤ time.
+    let mut dp = vec![INF; t + 1];
+    let mut choice: Vec<Vec<usize>> = Vec::with_capacity(n);
+    dp[0] = 0.0;
+    // dp over prefix; choice[i][time] = mode picked for task i when the
+    // prefix ends exactly at `time`.
+    for i in 0..n {
+        assert_eq!(durations[i].len(), energies[i].len());
+        let mut next = vec![INF; t + 1];
+        let mut pick = vec![usize::MAX; t + 1];
+        for (k, (&d, &e)) in durations[i].iter().zip(&energies[i]).enumerate() {
+            let d = d as usize;
+            if d > t {
+                continue;
+            }
+            for time in d..=t {
+                let base = dp[time - d];
+                if base + e < next[time] {
+                    next[time] = base + e;
+                    pick[time] = k;
+                }
+            }
+        }
+        dp = next;
+        choice.push(pick);
+    }
+    // Best completion time.
+    let (best_t, &best_e) = dp
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_finite())
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))?;
+    // Walk back the choices.
+    let mut modes = vec![0usize; n];
+    let mut time = best_t;
+    for i in (0..n).rev() {
+        let k = choice[i][time];
+        debug_assert_ne!(k, usize::MAX);
+        modes[i] = k;
+        time -= durations[i][k] as usize;
+    }
+    Some((best_e, modes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use ea_taskgraph::generators;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn bnb_matches_exhaustive_on_chain() {
+        let inst = Instance::single_chain(&[3.0, 1.0, 2.0], 4.0).unwrap();
+        let modes = [1.0, 2.0, 3.0];
+        let ex = solve_exhaustive(inst.augmented_dag(), 4.0, &modes).unwrap();
+        let bb = solve_bnb(inst.augmented_dag(), 4.0, &modes, BnbBound::Simple).unwrap();
+        assert_close(bb.energy, ex.energy);
+        let bb2 =
+            solve_bnb(inst.augmented_dag(), 4.0, &modes, BnbBound::VddRelaxation).unwrap();
+        assert_close(bb2.energy, ex.energy);
+    }
+
+    #[test]
+    fn bnb_matches_exhaustive_on_random_dags() {
+        let modes = [0.5, 1.0, 2.0];
+        for seed in 0..4u64 {
+            let dag = generators::random_layered(3, 2, 0.5, 0.5, 2.0, seed);
+            let inst = Instance::mapped_by_list_scheduling(
+                dag,
+                crate::platform::Platform::new(2),
+                2.0,
+                1e9,
+            )
+            .unwrap();
+            let d = 1.5 * inst.makespan_at_uniform_speed(2.0) + 0.5;
+            let aug = inst.augmented_dag();
+            let ex = solve_exhaustive(aug, d, &modes).unwrap();
+            let bb = solve_bnb(aug, d, &modes, BnbBound::Simple).unwrap();
+            assert_close(bb.energy, ex.energy);
+        }
+    }
+
+    #[test]
+    fn vdd_bound_prunes_harder() {
+        let inst =
+            Instance::single_chain(&[3.0, 1.0, 2.0, 2.5, 1.5, 0.5, 2.2, 1.1], 10.0).unwrap();
+        let modes = [0.5, 1.0, 1.5, 2.0];
+        let simple =
+            solve_bnb(inst.augmented_dag(), 10.0, &modes, BnbBound::Simple).unwrap();
+        let lp = solve_bnb(inst.augmented_dag(), 10.0, &modes, BnbBound::VddRelaxation)
+            .unwrap();
+        assert_close(simple.energy, lp.energy);
+        assert!(
+            lp.nodes <= simple.nodes,
+            "LP bound should not explore more nodes ({} vs {})",
+            lp.nodes,
+            simple.nodes
+        );
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let inst = Instance::single_chain(&[10.0], 1.0).unwrap();
+        assert!(solve_bnb(inst.augmented_dag(), 1.0, &[1.0, 2.0], BnbBound::Simple).is_err());
+    }
+
+    #[test]
+    fn discrete_never_beats_vdd() {
+        // Model refinement ordering: VDD can mix, DISCRETE cannot.
+        let inst = Instance::single_chain(&[3.0, 2.0], 3.0).unwrap();
+        let modes = [1.0, 2.0];
+        let disc =
+            solve_bnb(inst.augmented_dag(), 3.0, &modes, BnbBound::Simple).unwrap();
+        let vdd = crate::bicrit::vdd::solve(inst.augmented_dag(), 3.0, &modes).unwrap();
+        assert!(vdd.energy <= disc.energy * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn dp_solves_simple_knapsack() {
+        // Two tasks, modes: (dur 2, e 1) or (dur 1, e 4); budget 3:
+        // best = one slow + one fast = 5.
+        let durations = vec![vec![2, 1], vec![2, 1]];
+        let energies = vec![vec![1.0, 4.0], vec![1.0, 4.0]];
+        let (e, modes) = chain_dp_integral(&durations, &energies, 3).unwrap();
+        assert_close(e, 5.0);
+        assert_eq!(modes.iter().filter(|&&k| k == 1).count(), 1);
+    }
+
+    #[test]
+    fn dp_detects_infeasible_budget() {
+        let durations = vec![vec![5u64]];
+        let energies = vec![vec![1.0]];
+        assert!(chain_dp_integral(&durations, &energies, 4).is_none());
+    }
+
+    #[test]
+    fn dp_matches_bnb_on_integral_chain() {
+        // weights 1..4 with modes {1, 2}: durations integral after ×2.
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let modes = [1.0, 2.0];
+        let deadline = 8.0;
+        let inst = Instance::single_chain(&weights, deadline).unwrap();
+        let bb =
+            solve_bnb(inst.augmented_dag(), deadline, &modes, BnbBound::Simple).unwrap();
+        let scale = 2.0;
+        let durations: Vec<Vec<u64>> = weights
+            .iter()
+            .map(|w| modes.iter().map(|f| (w / f * scale).round() as u64).collect())
+            .collect();
+        let energies: Vec<Vec<f64>> = weights
+            .iter()
+            .map(|w| modes.iter().map(|f| w * f * f).collect())
+            .collect();
+        let (e, _) =
+            chain_dp_integral(&durations, &energies, (deadline * scale) as u64).unwrap();
+        assert_close(e, bb.energy);
+    }
+}

@@ -1,0 +1,158 @@
+//! INCREMENTAL BI-CRIT: the rounding approximation (paper, Section IV).
+//!
+//! The problem is NP-complete (it contains DISCRETE with a regular grid),
+//! but the paper gives a polynomial approximation: *"with the INCREMENTAL
+//! model, we can approximate the solution within a factor
+//! `(1 + δ/f_min)²·(1 + 1/K)²`, in a time polynomial in the size of the
+//! instance and in `K`"*.
+//!
+//! Algorithm implemented here:
+//! 1. solve CONTINUOUS BI-CRIT on `[f_min, f̄]` (where `f̄` is the largest
+//!    grid speed) to relative accuracy `1/K` — the `(1+1/K)²` term;
+//! 2. round every speed **up** to the next admissible increment — the
+//!    deadline stays satisfied (speeds only increase) and each task's
+//!    energy grows by at most `((f+δ)/f)² ≤ (1+δ/f_min)²`.
+//!
+//! The continuous optimum lower-bounds the incremental optimum, so the
+//! measured ratio `energy / lower_bound` is a *certified* approximation
+//! factor, compared against the proven bound by experiment E5.
+
+use super::continuous;
+use crate::error::CoreError;
+use crate::speed::SpeedModel;
+use ea_convex::BarrierOptions;
+use ea_taskgraph::Dag;
+
+/// Result of the INCREMENTAL approximation.
+#[derive(Debug, Clone)]
+pub struct IncrementalSolution {
+    /// Rounded (admissible) per-task speeds.
+    pub speeds: Vec<f64>,
+    /// Energy of the rounded schedule.
+    pub energy: f64,
+    /// Certified lower bound on the incremental optimum (continuous bound).
+    pub lower_bound: f64,
+    /// `energy / lower_bound` — the measured approximation factor.
+    pub ratio: f64,
+    /// The paper's proven factor `(1+δ/f_min)²·(1+1/K)²`.
+    pub proven_factor: f64,
+}
+
+/// Runs the approximation on the augmented DAG.
+///
+/// `k` controls the accuracy of the continuous stage (relative `1/k`);
+/// higher is tighter and slower.
+pub fn solve(
+    aug: &Dag,
+    deadline: f64,
+    fmin: f64,
+    fmax: f64,
+    delta: f64,
+    k: usize,
+) -> Result<IncrementalSolution, CoreError> {
+    assert!(k >= 1, "K must be ≥ 1");
+    let model = SpeedModel::incremental(fmin, fmax, delta);
+    // Solve the continuous relaxation capped at the largest *grid* speed so
+    // rounding up always lands on an admissible mode.
+    let f_grid_max = model.fmax();
+
+    // Stage 1a: a rough solve to scale the accuracy target.
+    let rough = continuous::solve_general(aug, deadline, fmin, f_grid_max, &BarrierOptions::default())?;
+    // Stage 1b: re-solve to relative accuracy 1/K (absolute gap E/K).
+    let opts = BarrierOptions {
+        tol: (rough.energy / k as f64).max(1e-12),
+        ..BarrierOptions::default()
+    };
+    let cont = continuous::solve_general(aug, deadline, fmin, f_grid_max, &opts)?;
+
+    // Stage 2: round up.
+    let mut speeds = Vec::with_capacity(aug.len());
+    let mut energy = 0.0;
+    for (i, &f) in cont.speeds.iter().enumerate() {
+        let fr = model.round_up(f).ok_or_else(|| {
+            CoreError::Numerical(format!("rounding speed {f} exceeded the grid"))
+        })?;
+        energy += aug.weight(i) * fr * fr;
+        speeds.push(fr);
+    }
+
+    let lower_bound = if cont.lower_bound > 0.0 {
+        cont.lower_bound
+    } else {
+        // Forced all-fmax case: that energy is itself optimal.
+        cont.energy
+    };
+    let ratio = if lower_bound > 0.0 { energy / lower_bound } else { 1.0 };
+    let proven_factor =
+        (1.0 + delta / fmin).powi(2) * (1.0 + 1.0 / k as f64).powi(2);
+    Ok(IncrementalSolution { speeds, energy, lower_bound, ratio, proven_factor })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use ea_taskgraph::generators;
+
+    #[test]
+    fn ratio_within_proven_factor_on_chain() {
+        let inst = Instance::single_chain(&[1.0, 2.0, 3.0], 5.0).unwrap();
+        let s = solve(inst.augmented_dag(), 5.0, 0.5, 3.0, 0.25, 10).unwrap();
+        assert!(s.ratio >= 1.0 - 1e-9, "ratio {} below 1", s.ratio);
+        assert!(
+            s.ratio <= s.proven_factor + 1e-9,
+            "ratio {} exceeds proven factor {}",
+            s.ratio,
+            s.proven_factor
+        );
+    }
+
+    #[test]
+    fn speeds_are_admissible_and_deadline_met() {
+        let inst = Instance::fork(2.0, &[1.0, 3.0, 2.0], 8.0).unwrap();
+        let (fmin, fmax, delta) = (0.5, 2.0, 0.2);
+        let s = solve(inst.augmented_dag(), 8.0, fmin, fmax, delta, 5).unwrap();
+        let model = SpeedModel::incremental(fmin, fmax, delta);
+        for &f in &s.speeds {
+            assert!(model.admissible(f), "speed {f} not on grid");
+        }
+        let sched = crate::schedule::Schedule::from_speeds(&s.speeds);
+        let ms = sched.makespan(&inst.dag, &inst.mapping).unwrap();
+        assert!(ms <= 8.0 * (1.0 + 1e-6), "makespan {ms}");
+    }
+
+    #[test]
+    fn finer_grid_tightens_the_ratio() {
+        let inst = Instance::single_chain(&[1.0, 2.0, 1.5, 2.5], 10.0).unwrap();
+        let coarse = solve(inst.augmented_dag(), 10.0, 0.5, 2.0, 0.5, 20).unwrap();
+        let fine = solve(inst.augmented_dag(), 10.0, 0.5, 2.0, 0.05, 20).unwrap();
+        assert!(
+            fine.energy <= coarse.energy * (1.0 + 1e-9),
+            "finer grid should not cost more energy"
+        );
+        assert!(fine.proven_factor < coarse.proven_factor);
+    }
+
+    #[test]
+    fn works_on_random_dags() {
+        for seed in 0..3u64 {
+            let dag = generators::random_layered(3, 3, 0.4, 0.5, 2.0, seed);
+            let inst = Instance::mapped_by_list_scheduling(
+                dag,
+                crate::platform::Platform::new(2),
+                2.0,
+                1e9,
+            )
+            .unwrap();
+            let d = 1.6 * inst.makespan_at_uniform_speed(2.0);
+            let s = solve(inst.augmented_dag(), d, 0.5, 2.0, 0.25, 8).unwrap();
+            assert!(s.ratio <= s.proven_factor + 1e-6, "seed {seed}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_deadline_propagates() {
+        let inst = Instance::single_chain(&[10.0], 1.0).unwrap();
+        assert!(solve(inst.augmented_dag(), 1.0, 0.5, 2.0, 0.25, 5).is_err());
+    }
+}

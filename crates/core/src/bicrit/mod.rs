@@ -1,0 +1,15 @@
+//! BI-CRIT: minimise energy subject to a deadline (paper, Definition 1).
+//!
+//! One submodule per speed model, mirroring the paper's complexity map:
+//!
+//! | model        | status        | solver here                              |
+//! |--------------|---------------|------------------------------------------|
+//! | CONTINUOUS   | closed forms / convex | [`continuous`]                   |
+//! | VDD-HOPPING  | polynomial (LP)       | [`vdd`]                          |
+//! | DISCRETE     | NP-complete           | [`discrete`] (exact B&B + DP)    |
+//! | INCREMENTAL  | NP-complete, approximable | [`incremental`]              |
+
+pub mod continuous;
+pub mod discrete;
+pub mod incremental;
+pub mod vdd;

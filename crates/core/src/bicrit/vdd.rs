@@ -1,0 +1,271 @@
+//! VDD-HOPPING BI-CRIT: the polynomial-time linear program (paper,
+//! Section IV).
+//!
+//! Variables: `α_{i,k}` — time task `i` spends at mode `f_k` — and start
+//! times `b_i`. The program
+//!
+//! ```text
+//! minimise    Σ_{i,k} f_k³ · α_{i,k}
+//! subject to  Σ_k f_k · α_{i,k} = w_i          (work conservation)
+//!             b_i + Σ_k α_{i,k} ≤ b_j          (augmented edges i → j)
+//!             b_i + Σ_k α_{i,k} ≤ D,   α, b ≥ 0
+//! ```
+//!
+//! is solved by the `ea-lp` simplex. A classical property (which the paper
+//! notes still holds with reliability) is that an optimal basic solution
+//! uses **at most two speeds per task, and they are adjacent modes** —
+//! checked by [`VddSolution::max_modes_per_task`] /
+//! [`VddSolution::speeds_adjacent`] and exercised by experiment E3.
+
+use crate::error::CoreError;
+use crate::schedule::{ExecSpec, Schedule, TaskSchedule};
+use ea_lp::{Cmp, LpOutcome, LpProblem};
+use ea_taskgraph::Dag;
+
+/// Solution of the VDD-hopping LP.
+#[derive(Debug, Clone)]
+pub struct VddSolution {
+    /// Per-task segment lists `(speed, time)`, zero-time segments dropped.
+    pub segments: Vec<Vec<(f64, f64)>>,
+    /// Start time of each task in the witness schedule.
+    pub starts: Vec<f64>,
+    /// Optimal energy.
+    pub energy: f64,
+    /// Simplex pivots used (for the polynomial-scaling experiment).
+    pub pivots: usize,
+}
+
+impl VddSolution {
+    /// Largest number of distinct modes used by any single task.
+    pub fn max_modes_per_task(&self) -> usize {
+        self.segments.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// True if every task's modes are adjacent in the mode list.
+    pub fn speeds_adjacent(&self, modes: &[f64]) -> bool {
+        let index_of = |f: f64| {
+            modes
+                .iter()
+                .position(|&m| (m - f).abs() <= 1e-9 * m.max(1.0))
+                .expect("segment speed must be a mode")
+        };
+        self.segments.iter().all(|segs| {
+            if segs.len() <= 1 {
+                return true;
+            }
+            let mut idx: Vec<usize> = segs.iter().map(|&(f, _)| index_of(f)).collect();
+            idx.sort_unstable();
+            idx.windows(2).all(|w| w[1] - w[0] == 1)
+        })
+    }
+
+    /// Converts to a [`Schedule`] of VDD executions.
+    pub fn to_schedule(&self) -> Schedule {
+        Schedule {
+            tasks: self
+                .segments
+                .iter()
+                .map(|segs| TaskSchedule {
+                    executions: vec![ExecSpec::Vdd { segments: segs.clone() }],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Solves VDD-HOPPING BI-CRIT on the augmented DAG by linear programming.
+pub fn solve(aug: &Dag, deadline: f64, modes: &[f64]) -> Result<VddSolution, CoreError> {
+    assert!(!modes.is_empty(), "need at least one mode");
+    let n = aug.len();
+    let m = modes.len();
+    let alpha = |i: usize, k: usize| i * m + k;
+    let bvar = |i: usize| n * m + i;
+
+    let mut lp = LpProblem::new(n * m + n);
+    for i in 0..n {
+        for (k, &f) in modes.iter().enumerate() {
+            lp.set_objective(alpha(i, k), f * f * f);
+        }
+    }
+    // Work conservation.
+    for i in 0..n {
+        let coeffs: Vec<(usize, f64)> =
+            modes.iter().enumerate().map(|(k, &f)| (alpha(i, k), f)).collect();
+        lp.add_constraint(&coeffs, Cmp::Eq, aug.weight(i));
+    }
+    // Precedence on the augmented DAG.
+    for &(i, j) in aug.edges() {
+        let mut coeffs: Vec<(usize, f64)> = vec![(bvar(i), 1.0), (bvar(j), -1.0)];
+        for k in 0..m {
+            coeffs.push((alpha(i, k), 1.0));
+        }
+        lp.add_constraint(&coeffs, Cmp::Le, 0.0);
+    }
+    // Deadline.
+    for i in 0..n {
+        let mut coeffs: Vec<(usize, f64)> = vec![(bvar(i), 1.0)];
+        for k in 0..m {
+            coeffs.push((alpha(i, k), 1.0));
+        }
+        lp.add_constraint(&coeffs, Cmp::Le, deadline);
+    }
+
+    let sol = match lp.solve() {
+        LpOutcome::Optimal(s) => s,
+        LpOutcome::Infeasible => {
+            return Err(CoreError::InfeasibleDeadline {
+                required: f64::NAN,
+                deadline,
+            })
+        }
+        LpOutcome::Unbounded => {
+            return Err(CoreError::Numerical("VDD LP unbounded (model bug)".into()))
+        }
+        LpOutcome::Stalled => {
+            return Err(CoreError::Numerical("VDD LP stalled".into()))
+        }
+    };
+
+    // Extract segments, dropping numerical dust, and re-normalise the work
+    // of each task exactly.
+    let mut segments = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut segs: Vec<(f64, f64)> = (0..m)
+            .filter_map(|k| {
+                let t = sol.x[alpha(i, k)];
+                (t > 1e-9).then_some((modes[k], t))
+            })
+            .collect();
+        if segs.is_empty() {
+            // Degenerate tiny task: put all work on the best mode present.
+            let (k_best, t_best) = (0..m)
+                .map(|k| (k, sol.x[alpha(i, k)]))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("at least one mode");
+            segs.push((modes[k_best], t_best.max(0.0)));
+        }
+        let work: f64 = segs.iter().map(|&(f, t)| f * t).sum();
+        let w = aug.weight(i);
+        if work > 0.0 {
+            let scale = w / work;
+            for s in segs.iter_mut() {
+                s.1 *= scale;
+            }
+        } else {
+            // All-zero (should not happen): run at the fastest mode.
+            let f = *modes.last().expect("non-empty");
+            segs = vec![(f, w / f)];
+        }
+        segments.push(segs);
+    }
+    let energy = segments
+        .iter()
+        .flat_map(|segs| segs.iter().map(|&(f, t)| f * f * f * t))
+        .sum();
+    let starts = (0..n).map(|i| sol.x[bvar(i)]).collect();
+    Ok(VddSolution { segments, starts, energy, pivots: sol.pivots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicrit::continuous;
+    use crate::instance::Instance;
+    use ea_taskgraph::generators;
+
+    fn assert_close(a: f64, b: f64, rel: f64) {
+        assert!((a - b).abs() <= rel * a.abs().max(b.abs()).max(1e-9), "{a} vs {b}");
+    }
+
+    #[test]
+    fn single_task_between_modes() {
+        // w = 3, D = 2 ⇒ continuous speed 1.5; modes {1, 2}: mix
+        // t1 + t2 = 2, 1·t1 + 2·t2 = 3 ⇒ t1 = t2 = 1; E = 1 + 8 = 9.
+        let dag = generators::chain(&[3.0]);
+        let s = solve(&dag, 2.0, &[1.0, 2.0]).unwrap();
+        assert_close(s.energy, 9.0, 1e-6);
+        assert_eq!(s.max_modes_per_task(), 2);
+        assert!(s.speeds_adjacent(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn exact_mode_uses_one_speed() {
+        let dag = generators::chain(&[4.0]);
+        let s = solve(&dag, 2.0, &[1.0, 2.0, 4.0]).unwrap();
+        // speed 2 exactly: energy 4·4 = 16
+        assert_close(s.energy, 16.0, 1e-6);
+        assert_eq!(s.max_modes_per_task(), 1);
+    }
+
+    #[test]
+    fn chain_splits_deadline() {
+        // Two tasks w=1 each, D=2, modes {1,2}: run both at speed 1.
+        let dag = generators::chain(&[1.0, 1.0]);
+        let s = solve(&dag, 2.0, &[1.0, 2.0]).unwrap();
+        assert_close(s.energy, 2.0, 1e-6);
+    }
+
+    #[test]
+    fn infeasible_deadline_detected() {
+        let dag = generators::chain(&[10.0]);
+        assert!(matches!(
+            solve(&dag, 1.0, &[1.0, 2.0]),
+            Err(CoreError::InfeasibleDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn sandwiched_between_continuous_and_discrete() {
+        // E_cont ≤ E_vdd ≤ E_discrete-at-rounded-speed on the same instance.
+        let inst = Instance::fork(2.0, &[1.0, 3.0, 2.0], 8.0).unwrap();
+        let modes = [0.5, 1.0, 1.5, 2.0];
+        let vdd = solve(inst.augmented_dag(), 8.0, &modes).unwrap();
+        let cont = continuous::fork_theorem(2.0, &[1.0, 3.0, 2.0], 8.0, 1e-6, 2.0).unwrap();
+        assert!(cont.energy <= vdd.energy * (1.0 + 1e-6));
+        // Discrete upper bound: round every continuous speed up.
+        let model = crate::speed::SpeedModel::discrete(modes.to_vec());
+        let e_disc: f64 = inst
+            .dag
+            .weights()
+            .iter()
+            .zip(&cont.speeds)
+            .map(|(w, &f)| {
+                let fr = model.round_up(f).expect("within range");
+                w * fr * fr
+            })
+            .sum();
+        assert!(vdd.energy <= e_disc * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn witness_schedule_is_valid() {
+        let inst = Instance::fork(2.0, &[1.0, 3.0], 8.0).unwrap();
+        let modes = vec![0.5, 1.0, 2.0];
+        let s = solve(inst.augmented_dag(), 8.0, &modes).unwrap();
+        let sched = s.to_schedule();
+        let model = crate::speed::SpeedModel::vdd_hopping(modes);
+        sched
+            .validate(&inst.dag, &model, &inst.mapping, Some(8.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn two_adjacent_modes_property_on_random_dags() {
+        let modes = vec![0.5, 1.0, 1.5, 2.0, 2.5];
+        for seed in 0..5u64 {
+            let dag = generators::random_layered(4, 3, 0.4, 0.5, 2.0, seed);
+            let inst = Instance::mapped_by_list_scheduling(
+                dag,
+                crate::platform::Platform::new(3),
+                2.5,
+                1e9,
+            )
+            .unwrap();
+            let aug = inst.augmented_dag();
+            let cp = inst.makespan_at_uniform_speed(2.5);
+            let s = solve(aug, 1.8 * cp, &modes).unwrap();
+            assert!(s.max_modes_per_task() <= 2, "seed {seed}");
+            assert!(s.speeds_adjacent(&modes), "seed {seed}");
+        }
+    }
+}

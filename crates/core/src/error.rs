@@ -1,0 +1,39 @@
+//! Error types shared across the core solvers.
+
+use std::fmt;
+
+/// Errors raised by the scheduling models and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A mapping is internally inconsistent or contradicts the DAG.
+    InvalidMapping(String),
+    /// The deadline cannot be met even at maximal speed.
+    InfeasibleDeadline { required: f64, deadline: f64 },
+    /// No admissible speed assignment satisfies all constraints.
+    Infeasible(String),
+    /// A schedule failed validation.
+    InvalidSchedule(String),
+    /// A numerical subroutine failed (convex solver, LP, bisection).
+    Numerical(String),
+    /// The requested structure does not match (e.g. fork solver on a
+    /// non-fork graph).
+    StructureMismatch(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidMapping(m) => write!(f, "invalid mapping: {m}"),
+            CoreError::InfeasibleDeadline { required, deadline } => write!(
+                f,
+                "deadline {deadline} infeasible: even at fmax the makespan is {required}"
+            ),
+            CoreError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            CoreError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
+            CoreError::Numerical(m) => write!(f, "numerical failure: {m}"),
+            CoreError::StructureMismatch(m) => write!(f, "structure mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,269 @@
+//! Checkpointing on a chain (the third fault-tolerance mechanism the
+//! paper lists in Section II, after Melhem et al.).
+//!
+//! Model: the chain is cut into contiguous **segments**; after each
+//! segment a checkpoint of duration `c` (and energy `e_c`) saves the
+//! state. If a transient fault hits a segment, only that segment is
+//! re-executed from the last checkpoint. We keep the paper's worst-case
+//! semantics: the deadline must hold even if **every segment fails once**
+//! (the analogue of charging both executions of a re-executed task), and
+//! the reliability constraint becomes segment-wise: a segment's two
+//! attempts must jointly be at least as reliable as running each of its
+//! tasks once at `f_rel` — conservatively, `(Σ_seg p_i(f))² ≤
+//! min_{i∈seg} p_i(f_rel)`.
+//!
+//! For a fixed uniform speed `f` the optimal segmentation minimising the
+//! worst-case makespan is a classic interval DP in `O(n²)`
+//! ([`optimal_segmentation`]); [`solve_chain`] then bisects the speed.
+//! Dense checkpoints cost overhead `k·c`; sparse checkpoints cost long
+//! re-execution windows — the DP balances the two, and the tests compare
+//! against task-level re-execution (checkpointing every task ≈
+//! re-execution with overhead).
+
+use crate::error::CoreError;
+use crate::reliability::ReliabilityModel;
+
+/// Checkpoint cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointCost {
+    /// Time to take one checkpoint.
+    pub time: f64,
+    /// Energy to take one checkpoint.
+    pub energy: f64,
+}
+
+/// A segmentation of the chain with its metrics at a given speed.
+#[derive(Debug, Clone)]
+pub struct CheckpointPlan {
+    /// Segment boundaries: `segments[k] = (start, end)` (task indices,
+    /// `end` exclusive).
+    pub segments: Vec<(usize, usize)>,
+    /// The uniform execution speed.
+    pub speed: f64,
+    /// Worst-case makespan (every segment fails once) incl. checkpoints.
+    pub worst_makespan: f64,
+    /// Worst-case energy (every segment executed twice + checkpoints).
+    pub worst_energy: f64,
+}
+
+/// Worst-case time of a segment `[i, j)` at speed `f`: two executions of
+/// its work plus one checkpoint.
+fn seg_time(prefix_w: &[f64], i: usize, j: usize, f: f64, cost: &CheckpointCost) -> f64 {
+    let work = prefix_w[j] - prefix_w[i];
+    2.0 * work / f + cost.time
+}
+
+/// Whether a segment `[i, j)` meets the conservative reliability bound.
+fn seg_reliable(
+    weights: &[f64],
+    rel: &ReliabilityModel,
+    i: usize,
+    j: usize,
+    f: f64,
+) -> bool {
+    let p_seg: f64 = weights[i..j].iter().map(|&w| rel.failure_prob(w, f)).sum();
+    let budget = weights[i..j]
+        .iter()
+        .map(|&w| rel.target(w))
+        .fold(f64::INFINITY, f64::min);
+    p_seg * p_seg <= budget * (1.0 + 1e-9)
+}
+
+/// Optimal segmentation for a fixed speed: minimises the worst-case
+/// makespan over all reliable segmentations (interval DP, `O(n²)`).
+/// Returns `None` if no reliable segmentation exists at this speed.
+pub fn optimal_segmentation(
+    weights: &[f64],
+    rel: &ReliabilityModel,
+    cost: &CheckpointCost,
+    f: f64,
+) -> Option<Vec<(usize, usize)>> {
+    let n = weights.len();
+    let mut prefix = vec![0.0; n + 1];
+    for (i, &w) in weights.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    const INF: f64 = f64::INFINITY;
+    let mut dp = vec![INF; n + 1];
+    let mut cut = vec![usize::MAX; n + 1];
+    dp[0] = 0.0;
+    for j in 1..=n {
+        for i in 0..j {
+            if dp[i].is_finite() && seg_reliable(weights, rel, i, j, f) {
+                let t = dp[i] + seg_time(&prefix, i, j, f, cost);
+                if t < dp[j] {
+                    dp[j] = t;
+                    cut[j] = i;
+                }
+            }
+        }
+    }
+    if !dp[n].is_finite() {
+        return None;
+    }
+    let mut segments = Vec::new();
+    let mut j = n;
+    while j > 0 {
+        let i = cut[j];
+        segments.push((i, j));
+        j = i;
+    }
+    segments.reverse();
+    Some(segments)
+}
+
+/// Minimises the uniform speed (hence the energy) such that a reliable
+/// segmentation meets the deadline, by bisection on `f`; then reports the
+/// plan at that speed.
+pub fn solve_chain(
+    weights: &[f64],
+    deadline: f64,
+    rel: &ReliabilityModel,
+    cost: &CheckpointCost,
+) -> Result<CheckpointPlan, CoreError> {
+    assert!(!weights.is_empty());
+    let feasible_at = |f: f64| -> Option<f64> {
+        let segs = optimal_segmentation(weights, rel, cost, f)?;
+        let mut prefix = vec![0.0; weights.len() + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + w;
+        }
+        let t: f64 = segs
+            .iter()
+            .map(|&(i, j)| seg_time(&prefix, i, j, f, cost))
+            .sum();
+        (t <= deadline * (1.0 + 1e-12)).then_some(t)
+    };
+    if feasible_at(rel.fmax).is_none() {
+        return Err(CoreError::InfeasibleDeadline {
+            required: 2.0 * weights.iter().sum::<f64>() / rel.fmax + cost.time,
+            deadline,
+        });
+    }
+    let (mut lo, mut hi) = (rel.fmin, rel.fmax);
+    if feasible_at(lo).is_some() {
+        hi = lo;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if feasible_at(mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let f = hi;
+    let segments = optimal_segmentation(weights, rel, cost, f)
+        .expect("bisection endpoint is feasible");
+    let mut prefix = vec![0.0; weights.len() + 1];
+    for (i, &w) in weights.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    let worst_makespan: f64 = segments
+        .iter()
+        .map(|&(i, j)| seg_time(&prefix, i, j, f, cost))
+        .sum();
+    let work: f64 = weights.iter().sum();
+    let worst_energy = 2.0 * work * f * f + segments.len() as f64 * cost.energy;
+    Ok(CheckpointPlan { segments, speed: f, worst_makespan, worst_energy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_taskgraph::generators;
+
+    fn rel() -> ReliabilityModel {
+        ReliabilityModel::typical(1.0, 2.0, 1.8)
+    }
+
+    fn cost() -> CheckpointCost {
+        CheckpointCost { time: 0.05, energy: 0.05 }
+    }
+
+    #[test]
+    fn segmentation_covers_the_chain() {
+        let rel = rel();
+        let w = generators::random_weights(12, 0.5, 1.5, 3);
+        let segs = optimal_segmentation(&w, &rel, &cost(), 1.5).expect("feasible");
+        assert_eq!(segs.first().expect("non-empty").0, 0);
+        assert_eq!(segs.last().expect("non-empty").1, w.len());
+        for win in segs.windows(2) {
+            assert_eq!(win[0].1, win[1].0, "segments must be contiguous");
+        }
+    }
+
+    #[test]
+    fn heavier_chains_need_more_checkpoints() {
+        // Longer chains accumulate failure probability: segments must stay
+        // short enough, so their count grows. A hot fault model keeps the
+        // segment budget tight enough to force multiple cuts.
+        let rel = ReliabilityModel::new(0.01, 3.0, 1.0, 2.0, 1.8);
+        let short = optimal_segmentation(&[1.0; 4], &rel, &cost(), 1.4).expect("ok");
+        let long = optimal_segmentation(&vec![1.0; 40], &rel, &cost(), 1.4).expect("ok");
+        assert!(long.len() > short.len(), "{} vs {}", long.len(), short.len());
+    }
+
+    #[test]
+    fn cheap_checkpoints_mean_fine_segmentation() {
+        let rel = rel();
+        let w = vec![1.0; 20];
+        let fine = optimal_segmentation(&w, &rel, &CheckpointCost { time: 1e-4, energy: 0.0 }, 1.5)
+            .expect("ok");
+        let coarse =
+            optimal_segmentation(&w, &rel, &CheckpointCost { time: 0.8, energy: 0.0 }, 1.5)
+                .expect("ok");
+        assert!(fine.len() >= coarse.len());
+    }
+
+    #[test]
+    fn solve_chain_meets_deadline() {
+        let rel = rel();
+        let w = generators::random_weights(10, 0.5, 1.5, 7);
+        let d = 2.5 * w.iter().sum::<f64>() / rel.fmax + 1.0;
+        let plan = solve_chain(&w, d, &rel, &cost()).expect("feasible");
+        assert!(plan.worst_makespan <= d * (1.0 + 1e-9));
+        assert!(plan.speed >= rel.fmin && plan.speed <= rel.fmax);
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected() {
+        let rel = rel();
+        assert!(solve_chain(&[10.0], 1.0, &rel, &cost()).is_err());
+    }
+
+    #[test]
+    fn slack_lowers_speed_and_energy() {
+        let rel = rel();
+        let w = generators::random_weights(10, 0.5, 1.5, 9);
+        let base = 2.0 * w.iter().sum::<f64>() / rel.fmax + 1.0;
+        let tight = solve_chain(&w, 1.1 * base, &rel, &cost()).expect("ok");
+        let loose = solve_chain(&w, 3.0 * base, &rel, &cost()).expect("ok");
+        assert!(loose.speed <= tight.speed + 1e-9);
+        assert!(loose.worst_energy <= tight.worst_energy * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn checkpointing_beats_task_level_reexecution_on_long_chains() {
+        // Task-level re-execution ≈ a checkpoint after every task. With a
+        // non-trivial checkpoint cost, coarser segments win: the DP plan
+        // must never be worse than the every-task segmentation.
+        let rel = rel();
+        let w = vec![0.8; 16];
+        let f = 1.5;
+        let c = CheckpointCost { time: 0.3, energy: 0.3 };
+        let mut prefix = vec![0.0; w.len() + 1];
+        for (i, &wi) in w.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + wi;
+        }
+        let every_task: f64 = (0..w.len())
+            .map(|i| seg_time(&prefix, i, i + 1, f, &c))
+            .sum();
+        let plan = optimal_segmentation(&w, &rel, &c, f).expect("ok");
+        let dp_time: f64 = plan
+            .iter()
+            .map(|&(i, j)| seg_time(&prefix, i, j, f, &c))
+            .sum();
+        assert!(dp_time <= every_task * (1.0 + 1e-12));
+    }
+}

@@ -1,0 +1,22 @@
+//! Extensions beyond the paper's published results — its own stated
+//! research directions, as code:
+//!
+//! * [`power`] — the generalised power model `P = f^α` (the paper fixes
+//!   α = 3; the literature uses α ∈ [2, 3]): the equivalent-weight
+//!   algebra and closed forms for arbitrary α > 1.
+//! * [`replication`] — the paper's Section V direction: *"More efficient
+//!   solutions … could be achieved through combining replication with
+//!   re-execution"*. Per-task choice between once / re-execute /
+//!   replicate on forks, under a spare-processor budget.
+//! * [`checkpoint`] — the third fault-tolerance mechanism the paper lists
+//!   in Section II (Melhem et al.): checkpoint placement on chains, as a
+//!   segment-level re-execution model with checkpoint overhead.
+//! * [`mapping`] — Section V: *"the classical critical-path
+//!   list-scheduling heuristic … may well be superseded by another
+//!   heuristic that trades off execution time, energy and reliability"*:
+//!   alternative list-scheduling policies and their downstream energy.
+
+pub mod checkpoint;
+pub mod mapping;
+pub mod power;
+pub mod replication;

@@ -1,0 +1,162 @@
+//! Generalised power model `P(f) = f^α`, α > 1.
+//!
+//! The paper fixes α = 3 ("a processor running at speed f dissipates f³
+//! watts"); the DVFS literature it cites uses α between 2 and 3. The
+//! equivalent-weight algebra generalises cleanly: executing weight `w` in
+//! time `T` costs `E = w^α / T^{α−1}`, so
+//!
+//! * series composition: `W = W₁ + W₂` (time splits ∝ W),
+//! * parallel composition: `W = (Σ W_k^α)^{1/α}`,
+//! * optimal energy on an SP structure: `E* = W^α / D^{α−1}`.
+//!
+//! α = 3 recovers every formula of `bicrit::continuous`, including the
+//! fork theorem — asserted by the tests below.
+
+use ea_taskgraph::SpTree;
+
+/// Equivalent weight of an SP decomposition under exponent `alpha`.
+pub fn equivalent_weight(tree: &SpTree, alpha: f64) -> f64 {
+    assert!(alpha > 1.0, "need α > 1 for a convex power model");
+    match tree {
+        SpTree::Leaf { weight, .. } => *weight,
+        SpTree::Series(c) => c.iter().map(|t| equivalent_weight(t, alpha)).sum(),
+        SpTree::Parallel(c) => c
+            .iter()
+            .map(|t| equivalent_weight(t, alpha).powf(alpha))
+            .sum::<f64>()
+            .powf(1.0 / alpha),
+    }
+}
+
+/// Optimal CONTINUOUS BI-CRIT energy on an SP structure with deadline `D`
+/// under exponent `alpha`: `W^α / D^{α−1}`.
+pub fn sp_optimal_energy(tree: &SpTree, deadline: f64, alpha: f64) -> f64 {
+    equivalent_weight(tree, alpha).powf(alpha) / deadline.powf(alpha - 1.0)
+}
+
+/// Optimal speeds under exponent `alpha`, `(task id, speed)` in DFS-leaf
+/// order (generalising `bicrit::continuous::sp_optimal`).
+pub fn sp_optimal_speeds(tree: &SpTree, deadline: f64, alpha: f64) -> Vec<(usize, f64)> {
+    let mut out = Vec::with_capacity(tree.task_count());
+    let mut dfs = 0usize;
+    assign(tree, deadline, alpha, &mut out, &mut dfs);
+    out
+}
+
+fn assign(tree: &SpTree, window: f64, alpha: f64, out: &mut Vec<(usize, f64)>, dfs: &mut usize) {
+    match tree {
+        SpTree::Leaf { weight, task } => {
+            out.push((task.unwrap_or(*dfs), weight / window));
+            *dfs += 1;
+        }
+        SpTree::Series(children) => {
+            let total: f64 = children.iter().map(|c| equivalent_weight(c, alpha)).sum();
+            for c in children {
+                assign(c, window * equivalent_weight(c, alpha) / total, alpha, out, dfs);
+            }
+        }
+        SpTree::Parallel(children) => {
+            for c in children {
+                assign(c, window, alpha, out, dfs);
+            }
+        }
+    }
+}
+
+/// The fork theorem generalised to exponent `alpha`: optimal energy
+/// `((Σ w_i^α)^{1/α} + w₀)^α / D^{α−1}`.
+pub fn fork_energy(w0: f64, branch_weights: &[f64], deadline: f64, alpha: f64) -> f64 {
+    let w_par = branch_weights
+        .iter()
+        .map(|w| w.powf(alpha))
+        .sum::<f64>()
+        .powf(1.0 / alpha);
+    (w_par + w0).powf(alpha) / deadline.powf(alpha - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicrit::continuous;
+    use ea_convex::{BarrierOptions, LinearConstraints, SeparablePower};
+    use ea_taskgraph::generators;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-12), "{a} vs {b}");
+    }
+
+    #[test]
+    fn alpha_three_matches_cubic_algebra() {
+        for seed in 0..5u64 {
+            let tree = generators::random_sp_tree(12, 0.5, 2.5, seed);
+            assert_close(equivalent_weight(&tree, 3.0), tree.equivalent_weight(), 1e-12);
+            let (_, e3) = continuous::sp_optimal(&tree, 4.0);
+            assert_close(sp_optimal_energy(&tree, 4.0, 3.0), e3, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fork_energy_alpha3_matches_theorem() {
+        let ws = [1.0, 3.0, 2.0];
+        let th = continuous::fork_theorem(2.0, &ws, 10.0, 1e-9, 1e9).unwrap();
+        assert_close(fork_energy(2.0, &ws, 10.0, 3.0), th.energy, 1e-9);
+    }
+
+    #[test]
+    fn quadratic_alpha_matches_convex_solver() {
+        // α = 2 ⇒ objective Σ w²/d: verify against the barrier solver on
+        // a chain: min Σ w²/d s.t. Σd ≤ D ⇒ d_i ∝ w_i, E = (Σw)²/D.
+        let w = [1.0f64, 2.0, 3.0];
+        let d_total = 2.0;
+        let tree = SpTree::series(w.iter().map(|&x| SpTree::leaf(x)).collect());
+        let closed = sp_optimal_energy(&tree, d_total, 2.0);
+        assert_close(closed, w.iter().sum::<f64>().powi(2) / d_total, 1e-12);
+
+        let obj = SeparablePower::new(
+            3,
+            w.iter().enumerate().map(|(i, wi)| (i, wi * wi)).collect(),
+            1.0,
+        );
+        let mut rows = vec![(vec![(0, 1.0), (1, 1.0), (2, 1.0)], d_total)];
+        for i in 0..3 {
+            rows.push((vec![(i, -1.0)], -1e-3));
+        }
+        let cons = LinearConstraints::from_rows(3, &rows);
+        let sol = ea_convex::solve(&obj, &cons, &[0.3, 0.3, 0.3], &BarrierOptions::default())
+            .unwrap();
+        assert_close(sol.objective, closed, 1e-4);
+    }
+
+    #[test]
+    fn energy_monotone_in_alpha_for_fast_speeds() {
+        // At speeds > 1, a higher exponent costs more energy.
+        let tree = SpTree::series(vec![SpTree::leaf(2.0), SpTree::leaf(2.0)]);
+        let d = 2.0; // implied speed 2 > 1
+        let e2 = sp_optimal_energy(&tree, d, 2.0);
+        let e25 = sp_optimal_energy(&tree, d, 2.5);
+        let e3 = sp_optimal_energy(&tree, d, 3.0);
+        assert!(e2 < e25 && e25 < e3);
+    }
+
+    #[test]
+    fn speeds_meet_deadline_for_all_alpha() {
+        for &alpha in &[2.0, 2.5, 3.0] {
+            let tree = generators::random_sp_tree(10, 0.5, 2.5, 3);
+            let dag = tree.to_dag();
+            let d = 5.0;
+            let pairs = sp_optimal_speeds(&tree, d, alpha);
+            let mut durs = vec![0.0; dag.len()];
+            for (i, (_, f)) in pairs.iter().enumerate() {
+                durs[i] = dag.weight(i) / f;
+            }
+            let cp = ea_taskgraph::analysis::critical_path_length(&dag, &durs);
+            assert!(cp <= d * (1.0 + 1e-9), "α={alpha}: makespan {cp} > {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "α > 1")]
+    fn rejects_degenerate_exponent() {
+        equivalent_weight(&SpTree::leaf(1.0), 1.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Replication vs. re-execution (the paper's Section V direction).
+//!
+//! Replication (Assayad et al., reference 1 of the paper) runs the *same*
+//! task on two processors **simultaneously**: the time cost is a single
+//! execution (`w/f`), the energy cost is double (`2·w·f²`), and the task
+//! fails only if both copies fail (`p(f)²` — the same reliability boost as
+//! re-execution). Re-execution serialises the two attempts: time `2·w/f`
+//! in the worst case, same worst-case energy. So:
+//!
+//! * tight deadlines favour **replication**: it spends the wall-clock
+//!   time of a single execution, so a pair still fits where two serial
+//!   attempts cannot — provided a spare processor exists;
+//! * with loose deadlines both mechanisms run at the same reliability
+//!   floor and cost the same worst-case energy; **re-execution** then
+//!   wins on resources (no spare processor) and on *expected* energy
+//!   (the second attempt is skipped whenever the first succeeds, which
+//!   the simulator's actual-energy column shows).
+//!
+//! This module explores the trade-off on the fork topology, where spare
+//! processors are a hard budget: each replicated branch occupies a second
+//! processor for its execution window.
+
+use crate::reliability::ReliabilityModel;
+use crate::error::CoreError;
+
+/// Fault-tolerance strategy chosen for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Single execution at ≥ `f_rel`.
+    Once,
+    /// Two serial executions (the paper's re-execution).
+    ReExecute,
+    /// Two simultaneous copies on distinct processors.
+    Replicate,
+}
+
+/// Per-task decision with its speed and worst-case energy.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Chosen strategy.
+    pub strategy: Strategy,
+    /// Execution speed (common to both copies/attempts).
+    pub speed: f64,
+    /// Worst-case energy.
+    pub energy: f64,
+}
+
+/// Result of the fork analysis.
+#[derive(Debug, Clone)]
+pub struct ReplicationSolution {
+    /// Decision per task (index 0 = source, then branches).
+    pub decisions: Vec<Decision>,
+    /// Total worst-case energy.
+    pub energy: f64,
+    /// Spare processors actually consumed by replication.
+    pub spares_used: usize,
+}
+
+/// Cheapest reliable decision for weight `w` within window `t`, given
+/// whether a spare processor is available.
+fn best_decision(
+    w: f64,
+    t: f64,
+    rel: &ReliabilityModel,
+    spare_available: bool,
+) -> Option<Decision> {
+    if t <= 0.0 {
+        return None;
+    }
+    let mut best: Option<Decision> = None;
+    let mut consider = |d: Decision| {
+        if d.speed <= rel.fmax * (1.0 + 1e-12)
+            && best.as_ref().is_none_or(|b| d.energy < b.energy)
+        {
+            best = Some(d);
+        }
+    };
+    // Once: f ≥ max(w/t, frel).
+    let f_once = (w / t).max(rel.frel).max(rel.fmin);
+    consider(Decision {
+        strategy: Strategy::Once,
+        speed: f_once,
+        energy: w * f_once * f_once,
+    });
+    // Re-execute: both attempts within t ⇒ g ≥ max(2w/t, g_min).
+    let g_re = (2.0 * w / t).max(rel.reexec_equal_speed_min(w)).max(rel.fmin);
+    consider(Decision {
+        strategy: Strategy::ReExecute,
+        speed: g_re,
+        energy: 2.0 * w * g_re * g_re,
+    });
+    // Replicate: copies run in parallel ⇒ g ≥ max(w/t, g_min), needs a spare.
+    if spare_available {
+        let g_rep = (w / t).max(rel.reexec_equal_speed_min(w)).max(rel.fmin);
+        consider(Decision {
+            strategy: Strategy::Replicate,
+            speed: g_rep,
+            energy: 2.0 * w * g_rep * g_rep,
+        });
+    }
+    best
+}
+
+/// Fork with a spare-processor budget: source + `n` branches (one
+/// processor each) plus `spares` extra processors usable for replication.
+/// The deadline split `t` is optimised on a grid with golden refinement,
+/// and within each split the spares go greedily to the branches that gain
+/// the most from replication.
+pub fn solve_fork(
+    w0: f64,
+    ws: &[f64],
+    deadline: f64,
+    rel: &ReliabilityModel,
+    spares: usize,
+) -> Result<ReplicationSolution, CoreError> {
+    assert!(!ws.is_empty());
+    let t_lo = ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+    let t_hi = deadline - w0 / rel.fmax;
+    if t_lo >= t_hi {
+        return Err(CoreError::InfeasibleDeadline {
+            required: t_lo + w0 / rel.fmax,
+            deadline,
+        });
+    }
+
+    let evaluate = |t: f64| -> Option<(f64, Vec<Decision>, usize)> {
+        // Source never replicates (it has no dedicated spare in this
+        // topology — replication would collide with branch starts).
+        let d0 = best_decision(w0, deadline - t, rel, false)?;
+        // Branch decisions without spares, plus the gain if replicated.
+        let mut decisions: Vec<Decision> = Vec::with_capacity(ws.len());
+        let mut gains: Vec<(f64, usize, Decision)> = Vec::new();
+        for (i, &w) in ws.iter().enumerate() {
+            let plain = best_decision(w, t, rel, false)?;
+            if let Some(with_spare) = best_decision(w, t, rel, true) {
+                if with_spare.strategy == Strategy::Replicate
+                    && with_spare.energy < plain.energy - 1e-12
+                {
+                    gains.push((plain.energy - with_spare.energy, i, with_spare));
+                }
+            }
+            decisions.push(plain);
+        }
+        gains.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite gains"));
+        let mut used = 0usize;
+        for (_, i, d) in gains.into_iter().take(spares) {
+            decisions[i] = d;
+            used += 1;
+        }
+        let energy = d0.energy + decisions.iter().map(|d| d.energy).sum::<f64>();
+        let mut all = vec![d0];
+        all.extend(decisions);
+        Some((energy, all, used))
+    };
+
+    // Grid + refinement over the split.
+    let mut best: Option<(f64, f64)> = None; // (energy, t)
+    let grid = 256usize;
+    for k in 0..=grid {
+        let t = t_lo + (t_hi - t_lo) * (k as f64 + 0.5) / (grid as f64 + 1.0);
+        if let Some((e, _, _)) = evaluate(t) {
+            if best.is_none_or(|(be, _)| e < be) {
+                best = Some((e, t));
+            }
+        }
+    }
+    let (_, mut t_star) = best.ok_or_else(|| {
+        CoreError::Infeasible("no feasible deadline split".into())
+    })?;
+    // Local refinement around the best grid point.
+    let step0 = (t_hi - t_lo) / grid as f64;
+    let mut step = step0;
+    for _ in 0..40 {
+        step *= 0.5;
+        for cand in [t_star - step, t_star + step] {
+            if cand > t_lo && cand < t_hi {
+                if let (Some((ec, _, _)), Some((eb, _, _))) = (evaluate(cand), evaluate(t_star)) {
+                    if ec < eb {
+                        t_star = cand;
+                    }
+                }
+            }
+        }
+    }
+    let (energy, decisions, spares_used) =
+        evaluate(t_star).expect("refined split stays feasible");
+    Ok(ReplicationSolution { decisions, energy, spares_used })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_taskgraph::generators;
+
+    fn rel() -> ReliabilityModel {
+        ReliabilityModel::typical(1.0, 2.0, 1.8)
+    }
+
+    #[test]
+    fn no_spares_reduces_to_fork_algorithm() {
+        let rel = rel();
+        let ws = generators::random_weights(5, 0.5, 2.0, 1);
+        let d = 4.0;
+        let no_rep = solve_fork(1.0, &ws, d, &rel, 0).unwrap();
+        let fork = crate::tricrit::fork::solve(1.0, &ws, d, &rel).unwrap();
+        assert!(
+            (no_rep.energy - fork.energy).abs() <= 2e-3 * fork.energy,
+            "{} vs {}",
+            no_rep.energy,
+            fork.energy
+        );
+        assert_eq!(no_rep.spares_used, 0);
+    }
+
+    #[test]
+    fn tight_deadline_prefers_replication_when_spares_exist() {
+        // Window too small for two serial executions (2w/t > fmax), large
+        // enough for a replica pair at speed ≈ 1.2 whose doubled energy
+        // 2w·1.2² still undercuts a single execution at frel = 1.8.
+        let rel = rel();
+        let ws = [1.9, 1.9, 1.9];
+        let d = 1.0 / rel.fmax + 1.9 / 1.2; // branch window ≈ w/1.2
+        let with = solve_fork(1.0, &ws, d, &rel, 3).unwrap();
+        let without = solve_fork(1.0, &ws, d, &rel, 0).unwrap();
+        assert!(with.spares_used > 0, "spares must be exploited");
+        assert!(with.energy <= without.energy * (1.0 + 1e-9));
+        assert!(with
+            .decisions
+            .iter()
+            .any(|dc| dc.strategy == Strategy::Replicate));
+    }
+
+    #[test]
+    fn spare_budget_is_respected() {
+        let rel = rel();
+        let ws = [1.9; 6];
+        let d = 1.0 / rel.fmax + 1.9 / 1.3;
+        for spares in [0usize, 1, 2, 6] {
+            let s = solve_fork(1.0, &ws, d, &rel, spares).unwrap();
+            assert!(s.spares_used <= spares);
+        }
+    }
+
+    #[test]
+    fn more_spares_never_hurt() {
+        let rel = rel();
+        let ws = generators::random_weights(6, 1.0, 2.0, 9);
+        let d = 3.0;
+        let mut last = f64::INFINITY;
+        for spares in 0..=6 {
+            let e = solve_fork(1.0, &ws, d, &rel, spares).unwrap().energy;
+            assert!(e <= last * (1.0 + 1e-9), "spares={spares}: {e} > {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn decisions_are_individually_reliable() {
+        let rel = rel();
+        let ws = generators::random_weights(5, 0.5, 2.0, 4);
+        let s = solve_fork(1.0, &ws, 5.0, &rel, 2).unwrap();
+        let weights = std::iter::once(1.0).chain(ws.iter().copied());
+        for (d, w) in s.decisions.iter().zip(weights) {
+            match d.strategy {
+                Strategy::Once => assert!(rel.single_ok(w, d.speed)),
+                Strategy::ReExecute | Strategy::Replicate => {
+                    assert!(rel.pair_ok(w, d.speed, d.speed))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected() {
+        let rel = rel();
+        assert!(solve_fork(10.0, &[1.0], 1.0, &rel, 4).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Problem instances: the bundle every solver consumes.
+
+use crate::error::CoreError;
+use crate::listsched;
+use crate::platform::{Mapping, Platform};
+use ea_taskgraph::{Dag, TaskId};
+
+/// A BI-CRIT/TRI-CRIT instance: an application DAG already mapped onto a
+/// platform, plus the deadline bound `D`.
+///
+/// The augmented DAG (precedence ∪ processor-order edges) is precomputed —
+/// every solver works on it.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The application DAG (weights = computation requirements).
+    pub dag: Dag,
+    /// The target platform.
+    pub platform: Platform,
+    /// The given mapping.
+    pub mapping: Mapping,
+    /// The deadline bound `D` on the makespan.
+    pub deadline: f64,
+    aug: Dag,
+}
+
+impl Instance {
+    /// Builds an instance from its parts, validating the mapping.
+    pub fn new(
+        dag: Dag,
+        platform: Platform,
+        mapping: Mapping,
+        deadline: f64,
+    ) -> Result<Self, CoreError> {
+        if !(deadline.is_finite() && deadline > 0.0) {
+            return Err(CoreError::Infeasible(format!("bad deadline {deadline}")));
+        }
+        if mapping.n_processors() > platform.processors {
+            return Err(CoreError::InvalidMapping(format!(
+                "mapping uses {} processors, platform has {}",
+                mapping.n_processors(),
+                platform.processors
+            )));
+        }
+        let aug = mapping.augmented_dag(&dag)?;
+        Ok(Instance { dag, platform, mapping, deadline, aug })
+    }
+
+    /// A single-processor instance executing `weights` as a linear chain in
+    /// index order (the TRI-CRIT chain setting).
+    pub fn single_chain(weights: &[f64], deadline: f64) -> Result<Self, CoreError> {
+        let dag = ea_taskgraph::generators::chain(weights);
+        let order: Vec<TaskId> = (0..weights.len()).collect();
+        Self::new(dag, Platform::single(), Mapping::single_processor(order), deadline)
+    }
+
+    /// A fork instance (source + `n` branches) with the source on processor
+    /// 0 and one branch per processor — the paper's fork-theorem setting.
+    pub fn fork(source_weight: f64, branch_weights: &[f64], deadline: f64) -> Result<Self, CoreError> {
+        let dag = ea_taskgraph::generators::fork(source_weight, branch_weights);
+        let n = dag.len();
+        let p = branch_weights.len().max(1);
+        // source on proc 0, branch i on proc i (mod p)
+        let mut proc_of = vec![0usize; n];
+        let mut order: Vec<Vec<TaskId>> = vec![Vec::new(); p];
+        order[0].push(0);
+        for (b, slot) in proc_of.iter_mut().enumerate().skip(1) {
+            let proc = (b - 1) % p;
+            *slot = proc;
+            order[proc].push(b);
+        }
+        let mapping = Mapping::new(proc_of, order)?;
+        Self::new(dag, Platform::new(p), mapping, deadline)
+    }
+
+    /// Maps a bare DAG with the critical-path list scheduler (at reference
+    /// speed `f_ref`), then wraps it as an instance.
+    pub fn mapped_by_list_scheduling(
+        dag: Dag,
+        platform: Platform,
+        f_ref: f64,
+        deadline: f64,
+    ) -> Result<Self, CoreError> {
+        let (mapping, _) = listsched::critical_path_list_schedule(&dag, platform, f_ref);
+        Self::new(dag, platform, mapping, deadline)
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// The augmented DAG (precedence ∪ processor-order edges).
+    pub fn augmented_dag(&self) -> &Dag {
+        &self.aug
+    }
+
+    /// Makespan lower bound at speed `f`: critical-path length of the
+    /// augmented DAG with durations `w/f`.
+    pub fn makespan_at_uniform_speed(&self, f: f64) -> f64 {
+        let durs: Vec<f64> = self.dag.weights().iter().map(|w| w / f).collect();
+        ea_taskgraph::analysis::critical_path_length(&self.aug, &durs)
+    }
+
+    /// The minimum uniform speed meeting the deadline: `CP_w / D`, where
+    /// `CP_w` is the critical-path weight of the augmented DAG.
+    pub fn critical_uniform_speed(&self) -> f64 {
+        ea_taskgraph::analysis::critical_path_length(&self.aug, self.dag.weights())
+            / self.deadline
+    }
+
+    /// Returns a copy with a different deadline (for deadline sweeps).
+    pub fn with_deadline(&self, deadline: f64) -> Result<Self, CoreError> {
+        Self::new(self.dag.clone(), self.platform, self.mapping.clone(), deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chain_instance() {
+        let inst = Instance::single_chain(&[1.0, 2.0, 3.0], 10.0).unwrap();
+        assert_eq!(inst.n_tasks(), 3);
+        assert_eq!(inst.augmented_dag().edge_count(), 2);
+        assert!((inst.makespan_at_uniform_speed(1.0) - 6.0).abs() < 1e-12);
+        assert!((inst.critical_uniform_speed() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_instance_parallel() {
+        let inst = Instance::fork(1.0, &[2.0, 3.0], 10.0).unwrap();
+        assert_eq!(inst.platform.processors, 2);
+        // augmented: fork edges + chain edge on proc 0 (source then branch 1)
+        assert!((inst.makespan_at_uniform_speed(1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_deadline_rejected() {
+        assert!(Instance::single_chain(&[1.0], 0.0).is_err());
+        assert!(Instance::single_chain(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn list_scheduled_instance() {
+        let dag = ea_taskgraph::generators::random_layered(4, 3, 0.4, 0.5, 2.0, 5);
+        let inst =
+            Instance::mapped_by_list_scheduling(dag, Platform::new(3), 1.0, 100.0).unwrap();
+        assert_eq!(inst.mapping.n_processors(), 3);
+        inst.mapping.augmented_dag(&inst.dag).unwrap();
+    }
+
+    #[test]
+    fn with_deadline_copies() {
+        let inst = Instance::single_chain(&[1.0, 1.0], 4.0).unwrap();
+        let tight = inst.with_deadline(2.0).unwrap();
+        assert_eq!(tight.deadline, 2.0);
+        assert_eq!(inst.deadline, 4.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ea-core
+//!
+//! The primary contribution of the reproduced paper — *"Energy-aware
+//! scheduling: models and complexity results"* (G. Aupy, IPDPSW 2012) —
+//! as a Rust library:
+//!
+//! * [`speed`] — the four speed models (CONTINUOUS, DISCRETE, VDD-HOPPING,
+//!   INCREMENTAL).
+//! * [`reliability`] — the DVFS-coupled transient-fault model (Eq. (1)).
+//! * [`platform`] / [`schedule`] — mapped platforms, augmented DAGs,
+//!   schedules and the three criteria (makespan, energy, reliability).
+//! * [`listsched`] — the critical-path list scheduler used to produce
+//!   mappings when only a bare DAG is given.
+//! * [`bicrit`] — BI-CRIT solvers: closed forms for chains/forks/trees/SP
+//!   graphs, the convex program for general DAGs (CONTINUOUS), the linear
+//!   program (VDD-HOPPING), exact branch-and-bound + DP (DISCRETE), and the
+//!   rounding approximation (INCREMENTAL).
+//! * [`tricrit`] — TRI-CRIT solvers: the chain strategy (slow everything
+//!   equally, then pick the re-execution set), the polynomial fork
+//!   algorithm, the two heuristic families H-A/H-B and their best-of, and
+//!   the VDD-hopping adaptation.
+//! * [`reductions`] — executable NP-hardness gadgets (2-PARTITION ↪
+//!   DISCRETE BI-CRIT).
+
+pub mod bicrit;
+pub mod error;
+pub mod ext;
+pub mod instance;
+pub mod listsched;
+pub mod platform;
+pub mod reductions;
+pub mod reliability;
+pub mod schedule;
+pub mod speed;
+pub mod tricrit;
+
+pub use error::CoreError;
+pub use instance::Instance;

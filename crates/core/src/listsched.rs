@@ -1,0 +1,149 @@
+//! Critical-path list scheduling.
+//!
+//! The paper assumes the mapping is given, and notes that its results
+//! "can be coupled with classical list-scheduling heuristics that map the
+//! DAG on the platform"; its own experiments couple the energy heuristics
+//! with a critical-path list scheduler. This module provides that
+//! scheduler: tasks are prioritised by *upward rank* (weight of the
+//! heaviest downstream path, computed at reference speed `f_max`) and each
+//! ready task goes to the processor where it can start earliest.
+
+use crate::platform::{Mapping, Platform};
+use ea_taskgraph::{Dag, TaskId};
+
+/// Upward rank: `rank(i) = w_i + max_{j ∈ succ(i)} rank(j)` (weights as
+/// durations at unit/reference speed). Tasks on the critical path have the
+/// largest ranks.
+pub fn upward_rank(dag: &Dag) -> Vec<f64> {
+    let mut rank = vec![0.0f64; dag.len()];
+    let order = dag.topological_order();
+    for &t in order.iter().rev() {
+        let best_succ = dag
+            .successors(t)
+            .iter()
+            .map(|&s| rank[s])
+            .fold(0.0, f64::max);
+        rank[t] = dag.weight(t) + best_succ;
+    }
+    rank
+}
+
+/// Critical-path list scheduling of `dag` onto `platform` at the reference
+/// speed `f_ref` (use `f_max` to get the tightest packing, which the
+/// energy solvers then relax).
+///
+/// Returns the mapping plus the resulting makespan at `f_ref`.
+pub fn critical_path_list_schedule(dag: &Dag, platform: Platform, f_ref: f64) -> (Mapping, f64) {
+    assert!(f_ref > 0.0, "reference speed must be positive");
+    let n = dag.len();
+    let p = platform.processors;
+    let rank = upward_rank(dag);
+
+    let mut indeg: Vec<usize> = (0..n).map(|t| dag.predecessors(t).len()).collect();
+    let mut ready: Vec<TaskId> = (0..n).filter(|&t| indeg[t] == 0).collect();
+    let mut finish = vec![0.0f64; n];
+    let mut proc_avail = vec![0.0f64; p];
+    let mut proc_of = vec![0usize; n];
+    let mut order: Vec<Vec<TaskId>> = vec![Vec::new(); p];
+    let mut makespan = 0.0f64;
+
+    while !ready.is_empty() {
+        // Highest upward rank first (ties by id for determinism).
+        let (idx, &t) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                rank[a]
+                    .partial_cmp(&rank[b])
+                    .expect("finite ranks")
+                    .then(b.cmp(&a))
+            })
+            .expect("ready non-empty");
+        ready.swap_remove(idx);
+
+        let data_ready = dag
+            .predecessors(t)
+            .iter()
+            .map(|&q| finish[q])
+            .fold(0.0, f64::max);
+        // Earliest-start processor.
+        let (proc, &avail) = proc_avail
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite times"))
+            .expect("at least one processor");
+        let start = data_ready.max(avail);
+        let end = start + dag.weight(t) / f_ref;
+        finish[t] = end;
+        proc_avail[proc] = end;
+        proc_of[t] = proc;
+        order[proc].push(t);
+        makespan = makespan.max(end);
+
+        for &s in dag.successors(t) {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+
+    let mapping = Mapping::new(proc_of, order).expect("list schedule is consistent");
+    (mapping, makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_taskgraph::generators;
+
+    #[test]
+    fn rank_of_chain_accumulates() {
+        let dag = generators::chain(&[1.0, 2.0, 3.0]);
+        assert_eq!(upward_rank(&dag), vec![6.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn single_processor_serialises_everything() {
+        let dag = generators::fork(1.0, &[1.0, 1.0, 1.0]);
+        let (m, ms) = critical_path_list_schedule(&dag, Platform::single(), 1.0);
+        assert_eq!(m.n_processors(), 1);
+        assert_eq!(m.order_on(0).len(), 4);
+        assert!((ms - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_spreads_across_processors() {
+        let dag = generators::fork(1.0, &[2.0, 2.0, 2.0]);
+        let (m, ms) = critical_path_list_schedule(&dag, Platform::new(3), 1.0);
+        // source then 3 parallel branches: makespan 1 + 2
+        assert!((ms - 3.0).abs() < 1e-12);
+        let procs: std::collections::HashSet<usize> =
+            (1..4).map(|t| m.processor_of(t)).collect();
+        assert_eq!(procs.len(), 3, "branches should use all processors");
+    }
+
+    #[test]
+    fn respects_precedence() {
+        let dag = generators::stencil_wavefront(3, 3, 1.0);
+        let (m, _) = critical_path_list_schedule(&dag, Platform::new(2), 1.0);
+        // The augmented DAG must be acyclic (valid mapping).
+        m.augmented_dag(&dag).unwrap();
+    }
+
+    #[test]
+    fn more_processors_never_hurt_makespan() {
+        let dag = generators::random_layered(6, 5, 0.3, 0.5, 3.0, 17);
+        let (_, ms1) = critical_path_list_schedule(&dag, Platform::new(1), 1.0);
+        let (_, ms4) = critical_path_list_schedule(&dag, Platform::new(4), 1.0);
+        assert!(ms4 <= ms1 + 1e-9);
+    }
+
+    #[test]
+    fn faster_reference_speed_scales_makespan() {
+        let dag = generators::chain(&[2.0, 2.0]);
+        let (_, ms1) = critical_path_list_schedule(&dag, Platform::single(), 1.0);
+        let (_, ms2) = critical_path_list_schedule(&dag, Platform::single(), 2.0);
+        assert!((ms1 - 2.0 * ms2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! Platforms, mappings and the augmented DAG.
+//!
+//! The paper assumes the mapping is *given*: an assignment of every task to
+//! one of `p` identical processors together with an execution order on each
+//! processor ("say by an ordered list of tasks to execute on each
+//! processor"). The solvers never re-map; they only choose speeds (and
+//! re-executions). The central derived object is the **augmented DAG**: the
+//! application DAG plus one chain edge between consecutive tasks of each
+//! processor — its longest path (in durations) is the schedule makespan.
+
+use crate::error::CoreError;
+use ea_taskgraph::{Dag, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A platform of `p` identical DVFS-capable processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Number of processors.
+    pub processors: usize,
+}
+
+impl Platform {
+    /// A platform with `p ≥ 1` processors.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        Platform { processors: p }
+    }
+
+    /// Single-processor platform.
+    pub fn single() -> Self {
+        Platform { processors: 1 }
+    }
+}
+
+/// A mapping: processor assignment plus per-processor execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    proc_of: Vec<usize>,
+    order: Vec<Vec<TaskId>>,
+}
+
+impl Mapping {
+    /// Builds a mapping from a per-task processor assignment and the
+    /// per-processor orders, validating consistency.
+    pub fn new(proc_of: Vec<usize>, order: Vec<Vec<TaskId>>) -> Result<Self, CoreError> {
+        let n = proc_of.len();
+        let p = order.len();
+        let mut seen = vec![false; n];
+        for (proc, tasks) in order.iter().enumerate() {
+            for &t in tasks {
+                if t >= n {
+                    return Err(CoreError::InvalidMapping(format!("unknown task {t}")));
+                }
+                if seen[t] {
+                    return Err(CoreError::InvalidMapping(format!("task {t} listed twice")));
+                }
+                seen[t] = true;
+                if proc_of[t] != proc {
+                    return Err(CoreError::InvalidMapping(format!(
+                        "task {t} listed on processor {proc} but assigned to {}",
+                        proc_of[t]
+                    )));
+                }
+            }
+        }
+        if let Some(t) = seen.iter().position(|s| !s) {
+            return Err(CoreError::InvalidMapping(format!("task {t} missing from orders")));
+        }
+        if let Some(&bad) = proc_of.iter().find(|&&pr| pr >= p) {
+            return Err(CoreError::InvalidMapping(format!("processor {bad} out of range")));
+        }
+        Ok(Mapping { proc_of, order })
+    }
+
+    /// All `n` tasks on one processor, executed in the given order.
+    pub fn single_processor(order: Vec<TaskId>) -> Self {
+        let n = order.len();
+        let mut proc_of = vec![0; n];
+        for &t in &order {
+            assert!(t < n, "order must be a permutation of 0..n");
+            proc_of[t] = 0;
+        }
+        Mapping { proc_of, order: vec![order] }
+    }
+
+    /// One task per processor (fully parallel; used for fork experiments).
+    pub fn one_task_per_processor(n: usize) -> Self {
+        Mapping {
+            proc_of: (0..n).collect(),
+            order: (0..n).map(|t| vec![t]).collect(),
+        }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.proc_of.len()
+    }
+
+    /// Number of processors.
+    pub fn n_processors(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Processor a task runs on.
+    pub fn processor_of(&self, t: TaskId) -> usize {
+        self.proc_of[t]
+    }
+
+    /// Execution order on a processor.
+    pub fn order_on(&self, proc: usize) -> &[TaskId] {
+        &self.order[proc]
+    }
+
+    /// The augmented DAG: the application DAG plus a chain edge between
+    /// consecutive tasks of each processor (duplicates skipped). Fails if
+    /// the mapping deadlocks against the precedence constraints (the
+    /// combined relation has a cycle).
+    pub fn augmented_dag(&self, dag: &Dag) -> Result<Dag, CoreError> {
+        if dag.len() != self.n_tasks() {
+            return Err(CoreError::InvalidMapping(format!(
+                "mapping covers {} tasks but the DAG has {}",
+                self.n_tasks(),
+                dag.len()
+            )));
+        }
+        let mut aug = dag.clone();
+        for tasks in &self.order {
+            for pair in tasks.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                match aug.add_edge(a, b) {
+                    Ok(_) => {}
+                    Err(ea_taskgraph::DagError::DuplicateEdge { .. }) => {}
+                    Err(ea_taskgraph::DagError::WouldCycle { .. }) => {
+                        return Err(CoreError::InvalidMapping(format!(
+                            "processor order {a} before {b} contradicts precedence"
+                        )));
+                    }
+                    Err(e) => return Err(CoreError::InvalidMapping(e.to_string())),
+                }
+            }
+        }
+        Ok(aug)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_taskgraph::generators;
+
+    #[test]
+    fn single_processor_mapping() {
+        let m = Mapping::single_processor(vec![0, 1, 2]);
+        assert_eq!(m.n_tasks(), 3);
+        assert_eq!(m.n_processors(), 1);
+        assert_eq!(m.processor_of(2), 0);
+        assert_eq!(m.order_on(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn augmented_dag_adds_chain_edges() {
+        // Independent tasks serialized on one processor.
+        let dag = Dag::from_parts(vec![1.0, 1.0, 1.0], []).unwrap();
+        let m = Mapping::single_processor(vec![2, 0, 1]);
+        let aug = m.augmented_dag(&dag).unwrap();
+        assert_eq!(aug.edge_count(), 2);
+        assert!(aug.successors(2).contains(&0));
+        assert!(aug.successors(0).contains(&1));
+    }
+
+    #[test]
+    fn augmented_dag_skips_duplicates() {
+        let dag = generators::chain(&[1.0, 1.0]);
+        let m = Mapping::single_processor(vec![0, 1]);
+        let aug = m.augmented_dag(&dag).unwrap();
+        assert_eq!(aug.edge_count(), 1); // 0->1 present once
+    }
+
+    #[test]
+    fn deadlocking_order_rejected() {
+        let dag = generators::chain(&[1.0, 1.0]); // 0 -> 1
+        let m = Mapping::single_processor(vec![1, 0]); // order contradicts it
+        assert!(m.augmented_dag(&dag).is_err());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        // task listed twice
+        assert!(Mapping::new(vec![0, 0], vec![vec![0, 0]]).is_err());
+        // missing task
+        assert!(Mapping::new(vec![0, 0], vec![vec![0]]).is_err());
+        // wrong processor
+        assert!(Mapping::new(vec![0, 1], vec![vec![0, 1], vec![]]).is_err());
+        // ok
+        assert!(Mapping::new(vec![0, 1], vec![vec![0], vec![1]]).is_ok());
+    }
+
+    #[test]
+    fn one_task_per_processor_shape() {
+        let m = Mapping::one_task_per_processor(4);
+        assert_eq!(m.n_processors(), 4);
+        for t in 0..4 {
+            assert_eq!(m.processor_of(t), t);
+            assert_eq!(m.order_on(t), &[t]);
+        }
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let dag = generators::chain(&[1.0, 1.0, 1.0]);
+        let m = Mapping::single_processor(vec![0, 1]);
+        assert!(m.augmented_dag(&dag).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! The reliability model of the paper (Section II, Eq. (1)).
+//!
+//! The reliability of task `T_i` executed once at speed `f` is
+//!
+//! ```text
+//! R_i(f) = 1 − λ₀ · e^{ d·(f_max − f)/(f_max − f_min) } · w_i / f
+//! ```
+//!
+//! i.e. the transient-failure probability grows *exponentially* as DVFS
+//! lowers the speed — the "antagonistic" coupling that makes TRI-CRIT hard.
+//! The per-task constraint is `R_i ≥ R_i(f_rel)`: each task must be at
+//! least as reliable as a single execution at the threshold speed `f_rel`.
+//! Re-execution succeeds iff at least one of the two attempts does, so the
+//! constraint becomes `(1 − R_i(f⁽¹⁾))·(1 − R_i(f⁽²⁾)) ≤ 1 − R_i(f_rel)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of Eq. (1) plus the reliability threshold speed `f_rel`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityModel {
+    /// Average fault rate at `f_max` (per unit of execution time).
+    pub lambda0: f64,
+    /// Sensitivity of the fault rate to DVFS (`d ≥ 0` in the paper).
+    pub d: f64,
+    /// Lowest admissible speed.
+    pub fmin: f64,
+    /// Highest admissible speed.
+    pub fmax: f64,
+    /// Threshold speed defining the per-task reliability requirement.
+    pub frel: f64,
+}
+
+impl ReliabilityModel {
+    /// Builds a model, validating parameter sanity.
+    pub fn new(lambda0: f64, d: f64, fmin: f64, fmax: f64, frel: f64) -> Self {
+        assert!(lambda0 > 0.0 && lambda0.is_finite(), "λ₀ must be positive");
+        assert!(d >= 0.0, "sensitivity d must be ≥ 0");
+        assert!(0.0 < fmin && fmin < fmax, "need 0 < fmin < fmax");
+        assert!(
+            (fmin..=fmax).contains(&frel),
+            "frel must lie within [fmin, fmax]"
+        );
+        ReliabilityModel { lambda0, d, fmin, fmax, frel }
+    }
+
+    /// A set of defaults in the regime used by the literature the paper
+    /// cites (λ₀ = 10⁻⁵, d = 3): failures are rare at `f_max` and ~e^d
+    /// times more likely at `f_min`.
+    pub fn typical(fmin: f64, fmax: f64, frel: f64) -> Self {
+        Self::new(1e-5, 3.0, fmin, fmax, frel)
+    }
+
+    /// Instantaneous fault rate `λ(f) = λ₀·e^{d(f_max−f)/(f_max−f_min)}`.
+    pub fn rate(&self, f: f64) -> f64 {
+        self.lambda0 * ((self.d * (self.fmax - f) / (self.fmax - self.fmin)).exp())
+    }
+
+    /// Failure probability of one execution of a weight-`w` task at
+    /// constant speed `f`: `λ(f)·w/f` (Eq. (1)).
+    pub fn failure_prob(&self, w: f64, f: f64) -> f64 {
+        self.rate(f) * w / f
+    }
+
+    /// Failure probability of a mixed-speed (VDD-hopping) execution: the
+    /// fault rate integrated over the segments, `Σ λ(f_s)·t_s`. With a
+    /// single segment of duration `w/f` this reduces to Eq. (1).
+    pub fn failure_prob_segments(&self, segments: &[(f64, f64)]) -> f64 {
+        segments.iter().map(|&(f, t)| self.rate(f) * t).sum()
+    }
+
+    /// The per-task failure-probability budget `1 − R_i(f_rel)`.
+    pub fn target(&self, w: f64) -> f64 {
+        self.failure_prob(w, self.frel)
+    }
+
+    /// Whether a single execution at speed `f` meets the constraint
+    /// (⇔ `f ≥ f_rel`, since the failure probability decreases with `f`).
+    pub fn single_ok(&self, w: f64, f: f64) -> bool {
+        self.failure_prob(w, f) <= self.target(w) * (1.0 + 1e-9)
+    }
+
+    /// Whether a re-executed pair at speeds `(f1, f2)` meets the
+    /// constraint: `p(f1)·p(f2) ≤ p(f_rel)`.
+    pub fn pair_ok(&self, w: f64, f1: f64, f2: f64) -> bool {
+        self.failure_prob(w, f1) * self.failure_prob(w, f2)
+            <= self.target(w) * (1.0 + 1e-9)
+    }
+
+    /// The minimum *equal* speed `g` such that re-executing twice at `g`
+    /// meets the constraint: solves `p(g)² = p(f_rel)` by bisection
+    /// (`p` is strictly decreasing in `g`), clamped to `[fmin, frel]`.
+    ///
+    /// Equal speeds are optimal for a re-executed pair by convexity of the
+    /// energy and symmetry of the constraint, so this is the quantity the
+    /// TRI-CRIT algorithms need.
+    pub fn reexec_equal_speed_min(&self, w: f64) -> f64 {
+        let target = self.target(w);
+        let p2 = |g: f64| {
+            let p = self.failure_prob(w, g);
+            p * p
+        };
+        if p2(self.fmin) <= target {
+            return self.fmin;
+        }
+        // p(frel)² = p(frel)·p(frel) ≤ p(frel) iff p(frel) ≤ 1; with
+        // meaningful parameters p(frel) ≪ 1, so frel always satisfies it.
+        let (mut lo, mut hi) = (self.fmin, self.frel);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if p2(mid) <= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo <= 1e-14 * self.fmax {
+                break;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ReliabilityModel {
+        ReliabilityModel::typical(1.0, 2.0, 1.6)
+    }
+
+    #[test]
+    fn rate_monotone_decreasing_in_speed() {
+        let m = model();
+        assert!(m.rate(1.0) > m.rate(1.5));
+        assert!(m.rate(1.5) > m.rate(2.0));
+        assert!((m.rate(2.0) - m.lambda0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rate_at_fmin_is_exp_d_times_lambda0() {
+        let m = model();
+        assert!((m.rate(1.0) - m.lambda0 * m.d.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_prob_matches_eq1() {
+        let m = model();
+        let w = 3.0;
+        let f = 1.2;
+        let expected = m.lambda0 * ((3.0f64 * (2.0 - 1.2) / 1.0).exp()) * w / f;
+        assert!((m.failure_prob(w, f) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_ok_iff_speed_at_least_frel() {
+        let m = model();
+        let w = 2.0;
+        assert!(m.single_ok(w, m.frel));
+        assert!(m.single_ok(w, 1.9));
+        assert!(!m.single_ok(w, 1.5));
+    }
+
+    #[test]
+    fn segments_reduce_to_eq1_for_constant_speed() {
+        let m = model();
+        let w = 2.0;
+        let f = 1.4;
+        let p_seg = m.failure_prob_segments(&[(f, w / f)]);
+        assert!((p_seg - m.failure_prob(w, f)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pair_constraint_much_weaker_than_single() {
+        // Two slow executions can beat one fast one: p small ⇒ p² ≪ p.
+        let m = model();
+        let w = 1.0;
+        let g = m.reexec_equal_speed_min(w);
+        assert!(g <= m.frel);
+        assert!(m.pair_ok(w, g, g));
+        // Just below g the pair constraint must fail (unless clamped at fmin).
+        if g > m.fmin + 1e-9 {
+            assert!(!m.pair_ok(w, g - 1e-6, g - 1e-6));
+        }
+    }
+
+    #[test]
+    fn reexec_speed_clamped_at_fmin_for_tiny_tasks() {
+        // A very light task has a tiny failure probability: re-execution at
+        // fmin is already reliable enough.
+        let m = model();
+        let g = m.reexec_equal_speed_min(1e-6);
+        assert_eq!(g, m.fmin);
+    }
+
+    #[test]
+    fn heavier_tasks_need_faster_reexecution() {
+        let m = model();
+        let g1 = m.reexec_equal_speed_min(1.0);
+        let g2 = m.reexec_equal_speed_min(100.0);
+        assert!(g2 >= g1);
+    }
+
+    #[test]
+    #[should_panic(expected = "frel must lie")]
+    fn frel_out_of_range_rejected() {
+        ReliabilityModel::new(1e-5, 3.0, 1.0, 2.0, 2.5);
+    }
+}

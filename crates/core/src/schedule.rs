@@ -1,0 +1,390 @@
+//! Schedules: per-task execution specifications and the three criteria.
+//!
+//! A [`Schedule`] fixes, for every task, how many times it executes (once,
+//! or twice under re-execution) and at which speed(s). Durations follow as
+//! `w/f` (or the segment sum under VDD-hopping); energy as `w·f²` per
+//! execution (`Σ f³·t` over segments); the makespan is the longest path of
+//! the augmented DAG under those durations.
+//!
+//! Worst-case semantics (paper, Section II): when a task is re-executed,
+//! *both* executions are charged in time and energy — the deadline must
+//! hold even if every first attempt fails.
+
+use crate::error::CoreError;
+use crate::platform::Mapping;
+use crate::reliability::ReliabilityModel;
+use crate::speed::{SpeedModel, SPEED_EPS};
+use ea_taskgraph::{analysis, Dag};
+use serde::{Deserialize, Serialize};
+
+/// One execution of a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExecSpec {
+    /// Constant speed for the whole execution.
+    Single {
+        /// Execution speed.
+        speed: f64,
+    },
+    /// VDD-hopping: a sequence of `(speed, time)` segments whose total
+    /// work `Σ f·t` must equal the task weight.
+    Vdd {
+        /// `(speed, time)` segments in execution order.
+        segments: Vec<(f64, f64)>,
+    },
+}
+
+impl ExecSpec {
+    /// A constant-speed execution.
+    pub fn at(speed: f64) -> Self {
+        ExecSpec::Single { speed }
+    }
+
+    /// Wall-clock duration for a task of weight `w`.
+    pub fn duration(&self, w: f64) -> f64 {
+        match self {
+            ExecSpec::Single { speed } => w / speed,
+            ExecSpec::Vdd { segments } => segments.iter().map(|&(_, t)| t).sum(),
+        }
+    }
+
+    /// Dynamic energy for a task of weight `w`: `w·f²`, or `Σ f³·t`.
+    pub fn energy(&self, w: f64) -> f64 {
+        match self {
+            ExecSpec::Single { speed } => w * speed * speed,
+            ExecSpec::Vdd { segments } => segments.iter().map(|&(f, t)| f * f * f * t).sum(),
+        }
+    }
+
+    /// Work processed (`w` when valid; `Σ f·t` for VDD).
+    pub fn work(&self, w: f64) -> f64 {
+        match self {
+            ExecSpec::Single { .. } => w,
+            ExecSpec::Vdd { segments } => segments.iter().map(|&(f, t)| f * t).sum(),
+        }
+    }
+
+    /// Failure probability of this execution under the reliability model.
+    pub fn failure_prob(&self, rel: &ReliabilityModel, w: f64) -> f64 {
+        match self {
+            ExecSpec::Single { speed } => rel.failure_prob(w, *speed),
+            ExecSpec::Vdd { segments } => rel.failure_prob_segments(segments),
+        }
+    }
+
+    /// Speeds used by this execution.
+    pub fn speeds(&self) -> Vec<f64> {
+        match self {
+            ExecSpec::Single { speed } => vec![*speed],
+            ExecSpec::Vdd { segments } => segments.iter().map(|&(f, _)| f).collect(),
+        }
+    }
+}
+
+/// Execution plan for one task (one or two executions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSchedule {
+    /// The executions; re-executed tasks have two entries.
+    pub executions: Vec<ExecSpec>,
+}
+
+impl TaskSchedule {
+    /// Single execution at a constant speed.
+    pub fn once(speed: f64) -> Self {
+        TaskSchedule { executions: vec![ExecSpec::at(speed)] }
+    }
+
+    /// Two executions at (possibly different) constant speeds.
+    pub fn twice(f1: f64, f2: f64) -> Self {
+        TaskSchedule { executions: vec![ExecSpec::at(f1), ExecSpec::at(f2)] }
+    }
+
+    /// True if the task is re-executed.
+    pub fn is_reexecuted(&self) -> bool {
+        self.executions.len() == 2
+    }
+
+    /// Worst-case duration: all executions serialized (paper semantics).
+    pub fn duration(&self, w: f64) -> f64 {
+        self.executions.iter().map(|e| e.duration(w)).sum()
+    }
+
+    /// Total energy: every execution is charged.
+    pub fn energy(&self, w: f64) -> f64 {
+        self.executions.iter().map(|e| e.energy(w)).sum()
+    }
+
+    /// Combined failure probability (all executions must fail).
+    pub fn failure_prob(&self, rel: &ReliabilityModel, w: f64) -> f64 {
+        self.executions
+            .iter()
+            .map(|e| e.failure_prob(rel, w).min(1.0))
+            .product()
+    }
+}
+
+/// A complete schedule: one [`TaskSchedule`] per task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Indexed by task id.
+    pub tasks: Vec<TaskSchedule>,
+}
+
+impl Schedule {
+    /// All tasks executed once at a common speed.
+    pub fn uniform(n: usize, speed: f64) -> Self {
+        Schedule { tasks: (0..n).map(|_| TaskSchedule::once(speed)).collect() }
+    }
+
+    /// All tasks executed once at per-task speeds.
+    pub fn from_speeds(speeds: &[f64]) -> Self {
+        Schedule { tasks: speeds.iter().map(|&f| TaskSchedule::once(f)).collect() }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Worst-case per-task durations.
+    pub fn durations(&self, dag: &Dag) -> Vec<f64> {
+        self.tasks
+            .iter()
+            .zip(dag.weights())
+            .map(|(ts, &w)| ts.duration(w))
+            .collect()
+    }
+
+    /// Total dynamic energy `E = Σ E_i` (Section II).
+    pub fn energy(&self, dag: &Dag) -> f64 {
+        self.tasks
+            .iter()
+            .zip(dag.weights())
+            .map(|(ts, &w)| ts.energy(w))
+            .sum()
+    }
+
+    /// Worst-case makespan on the mapped platform: longest path of the
+    /// augmented DAG under the schedule's durations.
+    pub fn makespan(&self, dag: &Dag, mapping: &Mapping) -> Result<f64, CoreError> {
+        let aug = mapping.augmented_dag(dag)?;
+        Ok(analysis::critical_path_length(&aug, &self.durations(dag)))
+    }
+
+    /// True if every task meets the reliability constraint
+    /// `R_i ≥ R_i(f_rel)`.
+    pub fn reliability_ok(&self, dag: &Dag, rel: &ReliabilityModel) -> bool {
+        self.tasks.iter().zip(dag.weights()).all(|(ts, &w)| {
+            ts.failure_prob(rel, w) <= rel.target(w) * (1.0 + 1e-9)
+        })
+    }
+
+    /// Per-task failure probabilities.
+    pub fn failure_probs(&self, dag: &Dag, rel: &ReliabilityModel) -> Vec<f64> {
+        self.tasks
+            .iter()
+            .zip(dag.weights())
+            .map(|(ts, &w)| ts.failure_prob(rel, w))
+            .collect()
+    }
+
+    /// Validates the schedule against a speed model and optionally a
+    /// deadline: admissible speeds, positive segment times, work
+    /// conservation for VDD executions, at most two executions per task.
+    pub fn validate(
+        &self,
+        dag: &Dag,
+        model: &SpeedModel,
+        mapping: &Mapping,
+        deadline: Option<f64>,
+    ) -> Result<(), CoreError> {
+        if self.len() != dag.len() {
+            return Err(CoreError::InvalidSchedule(format!(
+                "schedule covers {} tasks, DAG has {}",
+                self.len(),
+                dag.len()
+            )));
+        }
+        for (t, ts) in self.tasks.iter().enumerate() {
+            if ts.executions.is_empty() || ts.executions.len() > 2 {
+                return Err(CoreError::InvalidSchedule(format!(
+                    "task {t}: {} executions (must be 1 or 2)",
+                    ts.executions.len()
+                )));
+            }
+            let w = dag.weight(t);
+            for (k, e) in ts.executions.iter().enumerate() {
+                match e {
+                    ExecSpec::Single { speed } => {
+                        if !model.admissible(*speed) {
+                            return Err(CoreError::InvalidSchedule(format!(
+                                "task {t} execution {k}: speed {speed} not admissible"
+                            )));
+                        }
+                    }
+                    ExecSpec::Vdd { segments } => {
+                        if !model.allows_mid_task_switch() {
+                            return Err(CoreError::InvalidSchedule(format!(
+                                "task {t}: mid-task speed switching not allowed by model"
+                            )));
+                        }
+                        if segments.is_empty() {
+                            return Err(CoreError::InvalidSchedule(format!(
+                                "task {t} execution {k}: empty segment list"
+                            )));
+                        }
+                        for &(f, tm) in segments {
+                            if !model.admissible(f) {
+                                return Err(CoreError::InvalidSchedule(format!(
+                                    "task {t} execution {k}: segment speed {f} not admissible"
+                                )));
+                            }
+                            if tm < -SPEED_EPS {
+                                return Err(CoreError::InvalidSchedule(format!(
+                                    "task {t} execution {k}: negative segment time {tm}"
+                                )));
+                            }
+                        }
+                        let work = e.work(w);
+                        if (work - w).abs() > 1e-6 * w.max(1.0) {
+                            return Err(CoreError::InvalidSchedule(format!(
+                                "task {t} execution {k}: work {work} ≠ weight {w}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(d) = deadline {
+            let ms = self.makespan(dag, mapping)?;
+            if ms > d * (1.0 + 1e-6) {
+                return Err(CoreError::InvalidSchedule(format!(
+                    "makespan {ms} exceeds deadline {d}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_taskgraph::generators;
+
+    #[test]
+    fn single_exec_energy_and_duration() {
+        let e = ExecSpec::at(2.0);
+        assert!((e.duration(4.0) - 2.0).abs() < 1e-12);
+        assert!((e.energy(4.0) - 16.0).abs() < 1e-12); // w·f² = 4·4
+    }
+
+    #[test]
+    fn vdd_exec_accounting() {
+        // Two segments: 1 time unit at speed 1, 1 at speed 3 ⇒ work 4.
+        let e = ExecSpec::Vdd { segments: vec![(1.0, 1.0), (3.0, 1.0)] };
+        assert!((e.work(4.0) - 4.0).abs() < 1e-12);
+        assert!((e.duration(4.0) - 2.0).abs() < 1e-12);
+        assert!((e.energy(4.0) - (1.0 + 27.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reexecution_charges_both() {
+        let ts = TaskSchedule::twice(1.0, 2.0);
+        assert!(ts.is_reexecuted());
+        assert!((ts.duration(2.0) - 3.0).abs() < 1e-12); // 2/1 + 2/2
+        assert!((ts.energy(2.0) - (2.0 + 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_prob_multiplies() {
+        let rel = ReliabilityModel::typical(1.0, 2.0, 1.6);
+        let ts = TaskSchedule::twice(1.2, 1.2);
+        let w = 1.0;
+        let p = rel.failure_prob(w, 1.2);
+        assert!((ts.failure_prob(&rel, w) - p * p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn makespan_on_chain() {
+        let dag = generators::chain(&[2.0, 4.0]);
+        let m = Mapping::single_processor(vec![0, 1]);
+        let s = Schedule::from_speeds(&[1.0, 2.0]);
+        assert!((s.makespan(&dag, &m).unwrap() - 4.0).abs() < 1e-12);
+        assert!((s.energy(&dag) - (2.0 + 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_fork_on_parallel_processors() {
+        let dag = generators::fork(1.0, &[2.0, 6.0]);
+        let m = Mapping::new(vec![0, 1, 2], vec![vec![0], vec![1], vec![2]]).unwrap();
+        let s = Schedule::uniform(3, 2.0);
+        // source 0.5, then max(1, 3)
+        assert!((s.makespan(&dag, &m).unwrap() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_flags_bad_speed() {
+        let dag = generators::chain(&[1.0]);
+        let m = Mapping::single_processor(vec![0]);
+        let model = SpeedModel::discrete(vec![1.0, 2.0]);
+        let bad = Schedule::from_speeds(&[1.5]);
+        assert!(bad.validate(&dag, &model, &m, None).is_err());
+        let good = Schedule::from_speeds(&[2.0]);
+        good.validate(&dag, &model, &m, None).unwrap();
+    }
+
+    #[test]
+    fn validation_flags_vdd_work_mismatch() {
+        let dag = generators::chain(&[4.0]);
+        let m = Mapping::single_processor(vec![0]);
+        let model = SpeedModel::vdd_hopping(vec![1.0, 3.0]);
+        let bad = Schedule {
+            tasks: vec![TaskSchedule {
+                executions: vec![ExecSpec::Vdd { segments: vec![(1.0, 1.0)] }],
+            }],
+        };
+        assert!(bad.validate(&dag, &model, &m, None).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_vdd_under_discrete() {
+        let dag = generators::chain(&[4.0]);
+        let m = Mapping::single_processor(vec![0]);
+        let model = SpeedModel::discrete(vec![1.0, 3.0]);
+        let s = Schedule {
+            tasks: vec![TaskSchedule {
+                executions: vec![ExecSpec::Vdd { segments: vec![(1.0, 1.0), (3.0, 1.0)] }],
+            }],
+        };
+        assert!(s.validate(&dag, &model, &m, None).is_err());
+    }
+
+    #[test]
+    fn validation_checks_deadline() {
+        let dag = generators::chain(&[2.0, 2.0]);
+        let m = Mapping::single_processor(vec![0, 1]);
+        let model = SpeedModel::continuous(0.5, 2.0);
+        let s = Schedule::uniform(2, 1.0); // makespan 4
+        assert!(s.validate(&dag, &model, &m, Some(4.0)).is_ok());
+        assert!(s.validate(&dag, &model, &m, Some(3.0)).is_err());
+    }
+
+    #[test]
+    fn reliability_check() {
+        let dag = generators::chain(&[1.0, 1.0]);
+        let rel = ReliabilityModel::typical(1.0, 2.0, 1.6);
+        let ok = Schedule::uniform(2, 1.8);
+        assert!(ok.reliability_ok(&dag, &rel));
+        let slow = Schedule::uniform(2, 1.2);
+        assert!(!slow.reliability_ok(&dag, &rel));
+        // re-execution at a low speed restores the constraint
+        let g = rel.reexec_equal_speed_min(1.0);
+        let re = Schedule { tasks: vec![TaskSchedule::twice(g, g); 2] };
+        assert!(re.reliability_ok(&dag, &rel));
+    }
+}

@@ -1,0 +1,270 @@
+//! Speed models (paper, Section II).
+//!
+//! Four models govern which execution speeds a processor may use:
+//! CONTINUOUS (any `f ∈ [f_min, f_max]`), DISCRETE (an arbitrary finite
+//! mode set), VDD-HOPPING (the same mode set, but a task may *mix* two or
+//! more modes during its execution), and INCREMENTAL (modes regularly
+//! spaced by `δ` between `f_min` and `f_max` — "the modern counterpart of a
+//! potentiometer knob").
+
+use serde::{Deserialize, Serialize};
+
+/// Tolerance used when checking speed admissibility.
+pub const SPEED_EPS: f64 = 1e-9;
+
+/// A speed model, as defined in Section II of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpeedModel {
+    /// Arbitrary real speeds in `[fmin, fmax]`.
+    Continuous { fmin: f64, fmax: f64 },
+    /// A finite set of modes; one mode per task execution.
+    Discrete { modes: Vec<f64> },
+    /// A finite set of modes; a task may switch modes mid-execution.
+    VddHopping { modes: Vec<f64> },
+    /// Modes `fmin + i·δ` for integer `i`, up to `fmax`; one per execution.
+    Incremental { fmin: f64, fmax: f64, delta: f64 },
+}
+
+impl SpeedModel {
+    /// A continuous model; panics on an empty or invalid range.
+    pub fn continuous(fmin: f64, fmax: f64) -> Self {
+        assert!(fmin > 0.0 && fmax >= fmin, "need 0 < fmin ≤ fmax");
+        SpeedModel::Continuous { fmin, fmax }
+    }
+
+    /// A discrete model from an unsorted mode list (sorted, deduplicated).
+    pub fn discrete(modes: impl Into<Vec<f64>>) -> Self {
+        SpeedModel::Discrete { modes: normalise_modes(modes.into()) }
+    }
+
+    /// A VDD-hopping model from an unsorted mode list.
+    pub fn vdd_hopping(modes: impl Into<Vec<f64>>) -> Self {
+        SpeedModel::VddHopping { modes: normalise_modes(modes.into()) }
+    }
+
+    /// An incremental model; panics on invalid parameters.
+    pub fn incremental(fmin: f64, fmax: f64, delta: f64) -> Self {
+        assert!(fmin > 0.0 && fmax >= fmin && delta > 0.0, "invalid incremental parameters");
+        SpeedModel::Incremental { fmin, fmax, delta }
+    }
+
+    /// Smallest admissible speed.
+    pub fn fmin(&self) -> f64 {
+        match self {
+            SpeedModel::Continuous { fmin, .. } | SpeedModel::Incremental { fmin, .. } => *fmin,
+            SpeedModel::Discrete { modes } | SpeedModel::VddHopping { modes } => modes[0],
+        }
+    }
+
+    /// Largest admissible speed.
+    pub fn fmax(&self) -> f64 {
+        match self {
+            SpeedModel::Continuous { fmax, .. } => *fmax,
+            SpeedModel::Incremental { fmin, fmax, delta } => {
+                // Largest grid point not exceeding fmax.
+                let steps = ((fmax - fmin) / delta + SPEED_EPS).floor();
+                fmin + steps * delta
+            }
+            SpeedModel::Discrete { modes } | SpeedModel::VddHopping { modes } => {
+                *modes.last().expect("non-empty modes")
+            }
+        }
+    }
+
+    /// The discrete mode list, if the model has one (all but CONTINUOUS).
+    pub fn modes(&self) -> Option<Vec<f64>> {
+        match self {
+            SpeedModel::Continuous { .. } => None,
+            SpeedModel::Discrete { modes } | SpeedModel::VddHopping { modes } => {
+                Some(modes.clone())
+            }
+            SpeedModel::Incremental { fmin, fmax, delta } => {
+                let mut v = Vec::new();
+                let mut i = 0usize;
+                loop {
+                    let f = fmin + (i as f64) * delta;
+                    if f > fmax + SPEED_EPS {
+                        break;
+                    }
+                    v.push(f.min(*fmax));
+                    i += 1;
+                }
+                Some(v)
+            }
+        }
+    }
+
+    /// True if tasks may change speed mid-execution (CONTINUOUS allows it
+    /// trivially — although a constant speed is always optimal there — and
+    /// VDD-HOPPING is defined by it).
+    pub fn allows_mid_task_switch(&self) -> bool {
+        matches!(self, SpeedModel::Continuous { .. } | SpeedModel::VddHopping { .. })
+    }
+
+    /// True if `f` is an admissible (single) speed under this model.
+    pub fn admissible(&self, f: f64) -> bool {
+        match self {
+            SpeedModel::Continuous { fmin, fmax } => {
+                f >= fmin - SPEED_EPS && f <= fmax + SPEED_EPS
+            }
+            SpeedModel::Discrete { modes } | SpeedModel::VddHopping { modes } => {
+                modes.iter().any(|m| (m - f).abs() <= SPEED_EPS * m.max(1.0))
+            }
+            SpeedModel::Incremental { fmin, fmax, delta } => {
+                if f < fmin - SPEED_EPS || f > fmax + SPEED_EPS {
+                    return false;
+                }
+                let k = (f - fmin) / delta;
+                (k - k.round()).abs() <= 1e-6
+            }
+        }
+    }
+
+    /// Smallest admissible speed `≥ f`, or `None` if `f` exceeds `fmax`.
+    ///
+    /// Rounding **up** preserves deadline feasibility (execution can only
+    /// get faster) — this is the key step of the paper's INCREMENTAL
+    /// approximation algorithm.
+    pub fn round_up(&self, f: f64) -> Option<f64> {
+        match self {
+            SpeedModel::Continuous { fmin, fmax } => {
+                if f > fmax + SPEED_EPS {
+                    None
+                } else {
+                    Some(f.max(*fmin))
+                }
+            }
+            SpeedModel::Discrete { modes } | SpeedModel::VddHopping { modes } => modes
+                .iter()
+                .copied()
+                .find(|&m| m >= f - SPEED_EPS),
+            SpeedModel::Incremental { fmin, fmax, delta } => {
+                if f > self.fmax() + SPEED_EPS {
+                    return None;
+                }
+                if f <= *fmin {
+                    return Some(*fmin);
+                }
+                let k = ((f - fmin) / delta - SPEED_EPS).ceil();
+                let cand = fmin + k * delta;
+                if cand > *fmax + SPEED_EPS {
+                    None
+                } else {
+                    Some(cand)
+                }
+            }
+        }
+    }
+
+    /// The two adjacent modes bracketing `f` (`lo ≤ f ≤ hi`), used by the
+    /// VDD-hopping adaptation. When `f` coincides with a mode, both ends
+    /// equal that mode. `None` if `f` lies outside the mode range.
+    pub fn bracket(&self, f: f64) -> Option<(f64, f64)> {
+        let modes = self.modes()?;
+        if f < modes[0] - SPEED_EPS || f > *modes.last().expect("non-empty") + SPEED_EPS {
+            return None;
+        }
+        let mut lo = modes[0];
+        for &m in &modes {
+            if m <= f + SPEED_EPS {
+                lo = m;
+            } else {
+                return Some((lo, m));
+            }
+        }
+        Some((lo, *modes.last().expect("non-empty")))
+    }
+}
+
+fn normalise_modes(mut modes: Vec<f64>) -> Vec<f64> {
+    assert!(!modes.is_empty(), "at least one mode required");
+    assert!(
+        modes.iter().all(|&m| m.is_finite() && m > 0.0),
+        "modes must be positive finite"
+    );
+    modes.sort_by(|a, b| a.partial_cmp(b).expect("finite modes"));
+    modes.dedup_by(|a, b| (*a - *b).abs() <= SPEED_EPS);
+    modes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_basics() {
+        let m = SpeedModel::continuous(0.5, 2.0);
+        assert_eq!(m.fmin(), 0.5);
+        assert_eq!(m.fmax(), 2.0);
+        assert!(m.modes().is_none());
+        assert!(m.admissible(1.3));
+        assert!(!m.admissible(2.5));
+        assert_eq!(m.round_up(0.1), Some(0.5));
+        assert_eq!(m.round_up(1.7), Some(1.7));
+        assert_eq!(m.round_up(2.5), None);
+        assert!(m.allows_mid_task_switch());
+    }
+
+    #[test]
+    fn discrete_sorts_and_dedups() {
+        let m = SpeedModel::discrete(vec![2.0, 1.0, 1.0, 3.0]);
+        assert_eq!(m.modes().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.fmin(), 1.0);
+        assert_eq!(m.fmax(), 3.0);
+        assert!(m.admissible(2.0));
+        assert!(!m.admissible(2.5));
+        assert!(!m.allows_mid_task_switch());
+    }
+
+    #[test]
+    fn discrete_round_up() {
+        let m = SpeedModel::discrete(vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.round_up(0.2), Some(1.0));
+        assert_eq!(m.round_up(1.5), Some(2.0));
+        assert_eq!(m.round_up(3.0), Some(3.0));
+        assert_eq!(m.round_up(3.1), None);
+    }
+
+    #[test]
+    fn vdd_bracket() {
+        let m = SpeedModel::vdd_hopping(vec![1.0, 2.0, 4.0]);
+        assert_eq!(m.bracket(1.5), Some((1.0, 2.0)));
+        assert_eq!(m.bracket(3.0), Some((2.0, 4.0)));
+        assert_eq!(m.bracket(2.0), Some((2.0, 4.0))); // lo = exact mode
+        assert_eq!(m.bracket(4.0), Some((4.0, 4.0)));
+        assert_eq!(m.bracket(0.5), None);
+        assert_eq!(m.bracket(4.5), None);
+    }
+
+    #[test]
+    fn incremental_grid() {
+        let m = SpeedModel::incremental(1.0, 2.05, 0.25);
+        // grid: 1.0, 1.25, 1.5, 1.75, 2.0 (2.25 exceeds fmax)
+        assert_eq!(m.modes().unwrap().len(), 5);
+        assert!((m.fmax() - 2.0).abs() < 1e-12);
+        assert!(m.admissible(1.75));
+        assert!(!m.admissible(1.8));
+        assert_eq!(m.round_up(1.3), Some(1.5));
+        assert_eq!(m.round_up(0.2), Some(1.0));
+        assert_eq!(m.round_up(2.2), None);
+    }
+
+    #[test]
+    fn incremental_round_up_exact_gridpoint() {
+        let m = SpeedModel::incremental(1.0, 3.0, 0.5);
+        let r = m.round_up(1.5).unwrap();
+        assert!((r - 1.5).abs() < 1e-9, "exact grid point must not round past itself: {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mode")]
+    fn empty_modes_rejected() {
+        SpeedModel::discrete(Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn non_positive_mode_rejected() {
+        SpeedModel::discrete(vec![1.0, -2.0]);
+    }
+}

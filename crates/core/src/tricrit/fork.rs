@@ -1,0 +1,332 @@
+//! TRI-CRIT on a fork: the paper's polynomial-time algorithm.
+//!
+//! For a fork (source `T_0` + `n` independent branches, one branch per
+//! processor) the paper reports a **polynomial-time algorithm** built on a
+//! strategy opposite to the chain one: *"those highly parallelizable tasks
+//! should be preferred when allocating time slots for re-execution or
+//! deceleration"*.
+//!
+//! Structure exploited here: split the deadline as `D = (source time) +
+//! (parallel-phase time t)`. Given `t`, each branch *independently* picks
+//! its cheapest reliable option — execute once at
+//! `max(w/t, f_rel)` or twice at `max(2w/t, g_min)` — and the source does
+//! the same with budget `D − t`. The total energy `E(t)` is piecewise
+//! smooth with analytically known breakpoints (where a `max` switches arm
+//! or an option enters/leaves feasibility), so a scan over breakpoint
+//! intervals with golden-section refinement finds the optimum in
+//! polynomial time. [`solve_brute_force`] (exponential in `n`) is the
+//! correctness reference for experiment E7.
+
+use super::TriCritSolution;
+use crate::error::CoreError;
+use crate::reliability::ReliabilityModel;
+use crate::schedule::{Schedule, TaskSchedule};
+
+/// Cheapest reliable execution of one task of weight `w` within a time
+/// budget `t`: returns `(energy, speed, reexecuted)` or `None` if even
+/// `f_max` cannot fit it.
+fn branch_best(w: f64, t: f64, rel: &ReliabilityModel) -> Option<(f64, f64, bool)> {
+    if t <= 0.0 {
+        return None;
+    }
+    let mut best: Option<(f64, f64, bool)> = None;
+    // Once: speed must cover the budget and the reliability threshold.
+    let f_once = (w / t).max(rel.frel).max(rel.fmin);
+    if f_once <= rel.fmax * (1.0 + 1e-12) {
+        best = Some((w * f_once * f_once, f_once, false));
+    }
+    // Twice (equal speeds): budget 2w/g, reliability floor g_min.
+    let g = (2.0 * w / t).max(rel.reexec_equal_speed_min(w)).max(rel.fmin);
+    if g <= rel.fmax * (1.0 + 1e-12) {
+        let e = 2.0 * w * g * g;
+        if best.is_none_or(|(be, _, _)| e < be) {
+            best = Some((e, g, true));
+        }
+    }
+    best
+}
+
+/// Fixed-choice variant: energy of executing `w` within budget `t` with a
+/// *forced* execution count (used by the brute-force reference).
+fn branch_forced(w: f64, t: f64, rel: &ReliabilityModel, reexec: bool) -> Option<(f64, f64)> {
+    if t <= 0.0 {
+        return None;
+    }
+    if reexec {
+        let g = (2.0 * w / t).max(rel.reexec_equal_speed_min(w)).max(rel.fmin);
+        (g <= rel.fmax * (1.0 + 1e-12)).then_some((2.0 * w * g * g, g))
+    } else {
+        let f = (w / t).max(rel.frel).max(rel.fmin);
+        (f <= rel.fmax * (1.0 + 1e-12)).then_some((w * f * f, f))
+    }
+}
+
+/// Total energy for a parallel-phase budget `t` (source gets `D − t`).
+fn total_energy(
+    w0: f64,
+    ws: &[f64],
+    deadline: f64,
+    rel: &ReliabilityModel,
+    t: f64,
+) -> Option<f64> {
+    let (e0, _, _) = branch_best(w0, deadline - t, rel)?;
+    let mut e = e0;
+    for &w in ws {
+        let (ei, _, _) = branch_best(w, t, rel)?;
+        e += ei;
+    }
+    Some(e)
+}
+
+/// The polynomial fork algorithm. Task 0 is the source; tasks `1..=n` the
+/// branches (each on its own processor).
+pub fn solve(
+    w0: f64,
+    ws: &[f64],
+    deadline: f64,
+    rel: &ReliabilityModel,
+) -> Result<TriCritSolution, CoreError> {
+    assert!(!ws.is_empty(), "fork needs at least one branch");
+    // Feasible window for t: every branch must fit at fmax once, and the
+    // source must fit in D − t.
+    let t_lo = ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+    let t_hi = deadline - w0 / rel.fmax;
+    if t_lo >= t_hi {
+        return Err(CoreError::InfeasibleDeadline {
+            required: t_lo + w0 / rel.fmax,
+            deadline,
+        });
+    }
+
+    // Analytic breakpoints of E(t): per branch w: w/frel (once floor
+    // engages), 2w/g_min (twice floor engages), 2w/fmax (twice becomes
+    // feasible); mirrored through t = D − s for the source.
+    let mut pts = vec![t_lo, t_hi];
+    let mut push = |x: f64| {
+        if x > t_lo + 1e-12 && x < t_hi - 1e-12 {
+            pts.push(x);
+        }
+    };
+    for &w in ws {
+        push(w / rel.frel);
+        let g = rel.reexec_equal_speed_min(w).max(rel.fmin);
+        push(2.0 * w / g);
+        push(2.0 * w / rel.fmax);
+    }
+    for s in [
+        w0 / rel.frel,
+        2.0 * w0 / rel.reexec_equal_speed_min(w0).max(rel.fmin),
+        2.0 * w0 / rel.fmax,
+    ] {
+        push(deadline - s);
+    }
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    pts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    // Scan each interval with golden-section refinement.
+    let eval = |t: f64| total_energy(w0, ws, deadline, rel, t);
+    let mut best_t = f64::NAN;
+    let mut best_e = f64::INFINITY;
+    let mut consider = |t: f64, e: Option<f64>| {
+        if let Some(e) = e {
+            if e < best_e {
+                best_e = e;
+                best_t = t;
+            }
+        }
+    };
+    for win in pts.windows(2) {
+        let (a, b) = (win[0], win[1]);
+        consider(a.max(t_lo + 1e-12), eval(a.max(t_lo + 1e-12)));
+        consider(b.min(t_hi - 1e-12), eval(b.min(t_hi - 1e-12)));
+        // Golden-section search (E is convex on each piece).
+        let phi = 0.5 * (5.0f64.sqrt() - 1.0);
+        let (mut lo, mut hi) = (a, b);
+        let mut x1 = hi - phi * (hi - lo);
+        let mut x2 = lo + phi * (hi - lo);
+        let mut f1 = eval(x1).unwrap_or(f64::INFINITY);
+        let mut f2 = eval(x2).unwrap_or(f64::INFINITY);
+        for _ in 0..80 {
+            if f1 <= f2 {
+                hi = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = hi - phi * (hi - lo);
+                f1 = eval(x1).unwrap_or(f64::INFINITY);
+            } else {
+                lo = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = lo + phi * (hi - lo);
+                f2 = eval(x2).unwrap_or(f64::INFINITY);
+            }
+            if hi - lo < 1e-12 * deadline {
+                break;
+            }
+        }
+        let xm = 0.5 * (lo + hi);
+        consider(xm, eval(xm));
+    }
+    if !best_e.is_finite() {
+        return Err(CoreError::Infeasible("no feasible split of the deadline".into()));
+    }
+
+    // Materialise the witness schedule at best_t.
+    let mut tasks = Vec::with_capacity(ws.len() + 1);
+    let mut reexecuted = Vec::with_capacity(ws.len() + 1);
+    let (_, f0, r0) = branch_best(w0, deadline - best_t, rel).expect("feasible at best_t");
+    tasks.push(if r0 { TaskSchedule::twice(f0, f0) } else { TaskSchedule::once(f0) });
+    reexecuted.push(r0);
+    let mut energy = if r0 { 2.0 * w0 * f0 * f0 } else { w0 * f0 * f0 };
+    for &w in ws {
+        let (ei, f, r) = branch_best(w, best_t, rel).expect("feasible at best_t");
+        tasks.push(if r { TaskSchedule::twice(f, f) } else { TaskSchedule::once(f) });
+        reexecuted.push(r);
+        energy += ei;
+    }
+    Ok(TriCritSolution { schedule: Schedule { tasks }, energy, reexecuted })
+}
+
+/// Exponential reference: enumerate every re-execution subset of
+/// {source} ∪ branches, optimising the deadline split for each subset on a
+/// fine grid + golden refinement. Guarded to small `n`.
+pub fn solve_brute_force(
+    w0: f64,
+    ws: &[f64],
+    deadline: f64,
+    rel: &ReliabilityModel,
+    grid: usize,
+) -> Result<TriCritSolution, CoreError> {
+    let n = ws.len();
+    assert!(n <= 16, "brute force limited to n ≤ 16 branches");
+    let t_lo = ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+    let t_hi = deadline - w0 / rel.fmax;
+    if t_lo >= t_hi {
+        return Err(CoreError::InfeasibleDeadline {
+            required: t_lo + w0 / rel.fmax,
+            deadline,
+        });
+    }
+    let mut best: Option<(f64, f64, u64)> = None; // (energy, t, mask)
+    for mask in 0u64..(1u64 << (n + 1)) {
+        let eval = |t: f64| -> Option<f64> {
+            let mut e = branch_forced(w0, deadline - t, rel, mask & 1 == 1)?.0;
+            for (i, &w) in ws.iter().enumerate() {
+                e += branch_forced(w, t, rel, mask >> (i + 1) & 1 == 1)?.0;
+            }
+            Some(e)
+        };
+        for k in 0..=grid {
+            let t = t_lo + (t_hi - t_lo) * (k as f64 + 0.5) / (grid as f64 + 1.0);
+            if let Some(e) = eval(t) {
+                if best.is_none_or(|(be, _, _)| e < be) {
+                    best = Some((e, t, mask));
+                }
+            }
+        }
+    }
+    let (energy, t, mask) =
+        best.ok_or_else(|| CoreError::Infeasible("no feasible subset/split".into()))?;
+    let mut tasks = Vec::with_capacity(n + 1);
+    let mut reexecuted = Vec::with_capacity(n + 1);
+    let (_, f0) = branch_forced(w0, deadline - t, rel, mask & 1 == 1).expect("feasible");
+    let r0 = mask & 1 == 1;
+    tasks.push(if r0 { TaskSchedule::twice(f0, f0) } else { TaskSchedule::once(f0) });
+    reexecuted.push(r0);
+    for (i, &w) in ws.iter().enumerate() {
+        let r = mask >> (i + 1) & 1 == 1;
+        let (_, f) = branch_forced(w, t, rel, r).expect("feasible");
+        tasks.push(if r { TaskSchedule::twice(f, f) } else { TaskSchedule::once(f) });
+        reexecuted.push(r);
+    }
+    Ok(TriCritSolution { schedule: Schedule { tasks }, energy, reexecuted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_taskgraph::generators;
+
+    fn rel() -> ReliabilityModel {
+        ReliabilityModel::typical(1.0, 2.0, 1.8)
+    }
+
+    #[test]
+    fn loose_deadline_reexecutes_branches() {
+        let rel = rel();
+        let sol = solve(1.0, &[1.0, 1.0, 1.0], 1e4, &rel).unwrap();
+        // branches have the whole horizon: re-execution is cheaper
+        assert!(sol.reexecuted[1..].iter().all(|&r| r));
+    }
+
+    #[test]
+    fn tight_deadline_runs_once_fast() {
+        let rel = rel();
+        let w0 = 1.0;
+        let ws = [1.0, 1.0];
+        let d = 1.1 * (w0 / rel.fmax + 1.0 / rel.fmax);
+        let sol = solve(w0, &ws, d, &rel).unwrap();
+        assert!(sol.reexecuted.iter().all(|&r| !r));
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let rel = rel();
+        for seed in 0..6u64 {
+            let ws = generators::random_weights(5, 0.5, 2.0, seed);
+            let w0 = 1.0 + (seed as f64) * 0.3;
+            let base = w0 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+            for mult in [1.3, 2.0, 5.0] {
+                let d = mult * base;
+                let fast = solve(w0, &ws, d, &rel);
+                let slow = solve_brute_force(w0, &ws, d, &rel, 400);
+                match (fast, slow) {
+                    (Ok(f), Ok(s)) => {
+                        assert!(
+                            f.energy <= s.energy * (1.0 + 2e-3),
+                            "seed {seed} mult {mult}: poly {} vs brute {}",
+                            f.energy,
+                            s.energy
+                        );
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("feasibility disagreement: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_schedule_is_consistent() {
+        let rel = rel();
+        let ws = [1.0, 2.0, 0.5];
+        let d = 6.0;
+        let sol = solve(1.5, &ws, d, &rel).unwrap();
+        let inst = crate::instance::Instance::fork(1.5, &ws, d).unwrap();
+        let ms = sol.schedule.makespan(&inst.dag, &inst.mapping).unwrap();
+        assert!(ms <= d * (1.0 + 1e-6), "makespan {ms} > deadline {d}");
+        assert!(sol.schedule.reliability_ok(&inst.dag, &rel));
+        let e = sol.schedule.energy(&inst.dag);
+        assert!((e - sol.energy).abs() < 1e-6 * e);
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected() {
+        let rel = rel();
+        assert!(solve(10.0, &[1.0], 1.0, &rel).is_err());
+        assert!(solve_brute_force(10.0, &[1.0], 1.0, &rel, 50).is_err());
+    }
+
+    #[test]
+    fn heavier_source_shifts_split() {
+        // With a heavy source, branches get less time, so fewer re-execute.
+        let rel = rel();
+        let ws = [1.0; 4];
+        let d = 4.0;
+        let light = solve(0.2, &ws, d, &rel).unwrap();
+        let heavy = solve(4.0, &ws, d, &rel).unwrap();
+        let n_light = light.reexecuted[1..].iter().filter(|&&r| r).count();
+        let n_heavy = heavy.reexecuted[1..].iter().filter(|&&r| r).count();
+        assert!(n_heavy <= n_light);
+    }
+}

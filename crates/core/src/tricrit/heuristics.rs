@@ -1,0 +1,368 @@
+//! The two complementary TRI-CRIT heuristic families for general mapped
+//! DAGs (paper, Section III).
+//!
+//! The paper reports two sets of heuristics with complementary strengths
+//! and recommends taking the best of both:
+//!
+//! * **H-A (chain-oriented)** — generalises the linear-chain strategy:
+//!   *"first slow the execution of all tasks equally, then choose the
+//!   tasks to be re-executed"*. All executions share one common speed `λ`
+//!   (clamped below by per-task reliability floors); `λ` is re-balanced by
+//!   bisection after every re-execution decision, and the re-execution set
+//!   grows greedily. Strong when the DAG is chain-like (slack lives on the
+//!   critical path and must be traded globally).
+//!
+//! * **H-B (parallel-oriented)** — generalises the fork strategy: *"highly
+//!   parallelizable tasks should be preferred when allocating time slots
+//!   for re-execution or deceleration"*. Tasks are ranked by *float*
+//!   (scheduling slack); a task may only consume its own float, so the
+//!   critical path never stretches. Strong on wide DAGs where slack is
+//!   local and plentiful.
+//!
+//! * [`best_of`] — the paper's combined heuristic: run both, keep the
+//!   cheaper feasible result (experiment E8 reproduces the
+//!   complementarity claim).
+
+use super::TriCritSolution;
+use crate::error::CoreError;
+use crate::instance::Instance;
+use crate::reliability::ReliabilityModel;
+use crate::schedule::{Schedule, TaskSchedule};
+use ea_taskgraph::analysis;
+
+/// Which heuristic produced the best-of result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// Chain-oriented heuristic won.
+    A,
+    /// Parallel-oriented heuristic won.
+    B,
+}
+
+/// Per-task reliability floors: `f_rel` for singles, the equal
+/// re-execution speed for pairs.
+fn floors(weights: &[f64], rel: &ReliabilityModel, reexec: &[bool]) -> Vec<f64> {
+    weights
+        .iter()
+        .zip(reexec)
+        .map(|(&w, &r)| {
+            if r {
+                rel.reexec_equal_speed_min(w).max(rel.fmin)
+            } else {
+                rel.frel
+            }
+        })
+        .collect()
+}
+
+fn durations(weights: &[f64], speeds: &[f64], reexec: &[bool]) -> Vec<f64> {
+    weights
+        .iter()
+        .zip(speeds)
+        .zip(reexec)
+        .map(|((&w, &f), &r)| if r { 2.0 * w / f } else { w / f })
+        .collect()
+}
+
+fn energy(weights: &[f64], speeds: &[f64], reexec: &[bool]) -> f64 {
+    weights
+        .iter()
+        .zip(speeds)
+        .zip(reexec)
+        .map(|((&w, &f), &r)| if r { 2.0 * w * f * f } else { w * f * f })
+        .sum()
+}
+
+fn to_solution(weights: &[f64], speeds: Vec<f64>, reexec: Vec<bool>) -> TriCritSolution {
+    let tasks = speeds
+        .iter()
+        .zip(&reexec)
+        .map(|(&f, &r)| if r { TaskSchedule::twice(f, f) } else { TaskSchedule::once(f) })
+        .collect();
+    let energy = energy(weights, &speeds, &reexec);
+    TriCritSolution { schedule: Schedule { tasks }, energy, reexecuted: reexec }
+}
+
+/// Minimal common speed `λ` (water level) such that the makespan of the
+/// augmented DAG meets the deadline, with per-task speeds
+/// `f_i = max(λ, floor_i)`. `None` when even `f_max` fails.
+fn water_level(
+    inst: &Instance,
+    rel: &ReliabilityModel,
+    reexec: &[bool],
+) -> Option<(f64, Vec<f64>)> {
+    let aug = inst.augmented_dag();
+    let w = inst.dag.weights();
+    let floor = floors(w, rel, reexec);
+    let makespan_at = |lambda: f64| {
+        let speeds: Vec<f64> = floor.iter().map(|&fl| fl.max(lambda)).collect();
+        let dur = durations(w, &speeds, reexec);
+        analysis::critical_path_length(aug, &dur)
+    };
+    if makespan_at(rel.fmax) > inst.deadline * (1.0 + 1e-9) {
+        return None;
+    }
+    let (mut lo, mut hi) = (rel.fmin, rel.fmax);
+    if makespan_at(lo) <= inst.deadline {
+        hi = lo;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if makespan_at(mid) <= inst.deadline {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let lambda = hi;
+    let speeds: Vec<f64> = floor.iter().map(|&fl| fl.max(lambda)).collect();
+    Some((lambda, speeds))
+}
+
+/// H-A: chain-oriented heuristic (global uniform slowdown + greedy
+/// re-execution with re-balancing).
+pub fn heuristic_a(inst: &Instance, rel: &ReliabilityModel) -> Result<TriCritSolution, CoreError> {
+    let n = inst.n_tasks();
+    let w = inst.dag.weights();
+    let mut reexec = vec![false; n];
+    let (_, mut speeds) = water_level(inst, rel, &reexec).ok_or(
+        CoreError::InfeasibleDeadline {
+            required: inst.makespan_at_uniform_speed(rel.fmax),
+            deadline: inst.deadline,
+        },
+    )?;
+    let mut cur_energy = energy(w, &speeds, &reexec);
+    loop {
+        let mut best: Option<(usize, Vec<f64>, f64)> = None;
+        for i in 0..n {
+            if reexec[i] {
+                continue;
+            }
+            reexec[i] = true;
+            if let Some((_, sp)) = water_level(inst, rel, &reexec) {
+                let e = energy(w, &sp, &reexec);
+                if e < cur_energy - 1e-12 && best.as_ref().is_none_or(|(_, _, be)| e < *be) {
+                    best = Some((i, sp, e));
+                }
+            }
+            reexec[i] = false;
+        }
+        match best {
+            Some((i, sp, e)) => {
+                reexec[i] = true;
+                speeds = sp;
+                cur_energy = e;
+            }
+            None => break,
+        }
+    }
+    Ok(to_solution(w, speeds, reexec))
+}
+
+/// H-B: parallel-oriented heuristic (float-driven local re-execution and
+/// deceleration; the critical path is never stretched).
+pub fn heuristic_b(inst: &Instance, rel: &ReliabilityModel) -> Result<TriCritSolution, CoreError> {
+    let n = inst.n_tasks();
+    let aug = inst.augmented_dag();
+    let w = inst.dag.weights();
+    let mut reexec = vec![false; n];
+    let (_, mut speeds) = water_level(inst, rel, &reexec).ok_or(
+        CoreError::InfeasibleDeadline {
+            required: inst.makespan_at_uniform_speed(rel.fmax),
+            deadline: inst.deadline,
+        },
+    )?;
+
+    for _pass in 0..8 {
+        let mut changed = false;
+
+        // Pass 1: re-execute the highest-float singles, spending only
+        // their own float.
+        loop {
+            let dur = durations(w, &speeds, &reexec);
+            let float = analysis::total_float(aug, &dur, inst.deadline);
+            let mut cand: Vec<usize> = (0..n)
+                .filter(|&i| !reexec[i] && float[i] > 1e-12)
+                .collect();
+            cand.sort_by(|&a, &b| float[b].partial_cmp(&float[a]).expect("finite floats"));
+            let mut accepted = false;
+            for i in cand {
+                let budget = w[i] / speeds[i] + float[i];
+                let g = (2.0 * w[i] / budget)
+                    .max(rel.reexec_equal_speed_min(w[i]))
+                    .max(rel.fmin);
+                if g <= rel.fmax * (1.0 + 1e-12)
+                    && 2.0 * w[i] * g * g < w[i] * speeds[i] * speeds[i] - 1e-12
+                {
+                    reexec[i] = true;
+                    speeds[i] = g;
+                    accepted = true;
+                    changed = true;
+                    break; // floats are stale: recompute
+                }
+            }
+            if !accepted {
+                break;
+            }
+        }
+
+        // Pass 2: decelerate within the remaining float (singles bounded
+        // by f_rel, pairs by their re-execution floor).
+        let dur = durations(w, &speeds, &reexec);
+        let float = analysis::total_float(aug, &dur, inst.deadline);
+        for i in 0..n {
+            if float[i] <= 1e-12 {
+                continue;
+            }
+            let c = if reexec[i] { 2.0 } else { 1.0 };
+            let lower = if reexec[i] {
+                rel.reexec_equal_speed_min(w[i]).max(rel.fmin)
+            } else {
+                rel.frel
+            };
+            let f_new = (c * w[i] / (c * w[i] / speeds[i] + float[i])).max(lower);
+            if f_new < speeds[i] - 1e-12 {
+                speeds[i] = f_new;
+                changed = true;
+                // Conservative: consume float one task at a time so shared
+                // slack is never double-spent.
+                break;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    Ok(to_solution(w, speeds, reexec))
+}
+
+/// The paper's combined heuristic: run H-A and H-B, keep the cheaper
+/// feasible solution.
+pub fn best_of(
+    inst: &Instance,
+    rel: &ReliabilityModel,
+) -> Result<(TriCritSolution, Which), CoreError> {
+    let a = heuristic_a(inst, rel);
+    let b = heuristic_b(inst, rel);
+    match (a, b) {
+        (Ok(sa), Ok(sb)) => {
+            if sa.energy <= sb.energy {
+                Ok((sa, Which::A))
+            } else {
+                Ok((sb, Which::B))
+            }
+        }
+        (Ok(sa), Err(_)) => Ok((sa, Which::A)),
+        (Err(_), Ok(sb)) => Ok((sb, Which::B)),
+        (Err(e), Err(_)) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use ea_taskgraph::generators;
+
+    fn rel() -> ReliabilityModel {
+        ReliabilityModel::typical(1.0, 2.0, 1.8)
+    }
+
+    fn check_feasible(inst: &Instance, rel: &ReliabilityModel, sol: &TriCritSolution) {
+        let ms = sol.schedule.makespan(&inst.dag, &inst.mapping).unwrap();
+        assert!(
+            ms <= inst.deadline * (1.0 + 1e-6),
+            "makespan {ms} exceeds deadline {}",
+            inst.deadline
+        );
+        assert!(sol.schedule.reliability_ok(&inst.dag, rel), "reliability violated");
+        let e = sol.schedule.energy(&inst.dag);
+        assert!((e - sol.energy).abs() <= 1e-6 * e.max(1.0));
+    }
+
+    #[test]
+    fn both_heuristics_feasible_on_chain() {
+        let rel = rel();
+        let w = generators::random_weights(12, 0.5, 2.0, 5);
+        let d = 2.0 * w.iter().sum::<f64>() / rel.fmax;
+        let inst = Instance::single_chain(&w, d).unwrap();
+        let a = heuristic_a(&inst, &rel).unwrap();
+        let b = heuristic_b(&inst, &rel).unwrap();
+        check_feasible(&inst, &rel, &a);
+        check_feasible(&inst, &rel, &b);
+        // On a chain H-B has no float to play with: H-A should win.
+        assert!(a.energy <= b.energy * (1.0 + 1e-9), "A {} vs B {}", a.energy, b.energy);
+    }
+
+    #[test]
+    fn both_heuristics_feasible_on_fork() {
+        let rel = rel();
+        let ws = generators::random_weights(6, 0.5, 2.0, 7);
+        let d = 2.5 * (1.0 + ws.iter().fold(0.0f64, |m, &w| m.max(w))) / rel.fmax;
+        let inst = Instance::fork(1.0, &ws, d).unwrap();
+        let a = heuristic_a(&inst, &rel).unwrap();
+        let b = heuristic_b(&inst, &rel).unwrap();
+        check_feasible(&inst, &rel, &a);
+        check_feasible(&inst, &rel, &b);
+    }
+
+    #[test]
+    fn best_of_takes_the_minimum() {
+        let rel = rel();
+        let w = generators::random_weights(8, 0.5, 2.0, 9);
+        let d = 1.8 * w.iter().sum::<f64>() / rel.fmax;
+        let inst = Instance::single_chain(&w, d).unwrap();
+        let a = heuristic_a(&inst, &rel).unwrap();
+        let b = heuristic_b(&inst, &rel).unwrap();
+        let (best, _) = best_of(&inst, &rel).unwrap();
+        assert!(best.energy <= a.energy.min(b.energy) * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn infeasible_instances_rejected() {
+        let rel = rel();
+        let inst = Instance::single_chain(&[100.0], 1.0).unwrap();
+        assert!(heuristic_a(&inst, &rel).is_err());
+        assert!(heuristic_b(&inst, &rel).is_err());
+        assert!(best_of(&inst, &rel).is_err());
+    }
+
+    #[test]
+    fn heuristics_on_random_mapped_dags() {
+        let rel = rel();
+        for seed in 0..4u64 {
+            let dag = generators::random_layered(4, 3, 0.4, 0.5, 2.0, seed);
+            let inst =
+                Instance::mapped_by_list_scheduling(dag, Platform::new(3), rel.fmax, 1e9)
+                    .unwrap();
+            let d = 2.0 * inst.makespan_at_uniform_speed(rel.fmax);
+            let inst = inst.with_deadline(d).unwrap();
+            let (best, _) = best_of(&inst, &rel).unwrap();
+            check_feasible(&inst, &rel, &best);
+        }
+    }
+
+    #[test]
+    fn tight_deadline_yields_single_executions() {
+        let rel = rel();
+        let w = [1.0, 1.0, 1.0];
+        let d = 1.02 * w.iter().sum::<f64>() / rel.fmax;
+        let inst = Instance::single_chain(&w, d).unwrap();
+        let a = heuristic_a(&inst, &rel).unwrap();
+        assert!(a.reexecuted.iter().all(|&r| !r));
+    }
+
+    #[test]
+    fn loose_deadline_beats_frel_baseline() {
+        // With slack, either heuristic must do better than everything
+        // pinned at frel.
+        let rel = rel();
+        let w = generators::random_weights(10, 0.5, 2.0, 13);
+        let d = 4.0 * w.iter().sum::<f64>() / rel.fmax;
+        let inst = Instance::single_chain(&w, d).unwrap();
+        let baseline: f64 = w.iter().map(|wi| wi * rel.frel * rel.frel).sum();
+        let (best, _) = best_of(&inst, &rel).unwrap();
+        assert!(best.energy < baseline);
+    }
+}

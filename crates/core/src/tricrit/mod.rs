@@ -1,0 +1,37 @@
+//! TRI-CRIT: minimise energy subject to a deadline *and* per-task
+//! reliability constraints `R_i ≥ R_i(f_rel)`, with re-execution as the
+//! fault-tolerance mechanism (paper, Definition 2 and Section III/IV).
+//!
+//! * [`chain`] — single-processor linear chains: the paper's strategy
+//!   ("first slow the execution of all tasks equally, then choose the
+//!   tasks to be re-executed") as a water-filling + greedy-selection
+//!   algorithm, plus the exponential exhaustive solver (the problem is
+//!   NP-hard even here).
+//! * [`fork`] — the polynomial-time fork algorithm: split the deadline
+//!   between source and parallel phase; each branch independently picks
+//!   execute-once vs re-execute; 1-D search over the split.
+//! * [`heuristics`] — the two complementary heuristic families for general
+//!   DAGs (H-A chain-oriented, H-B parallel-oriented) and their best-of.
+//! * [`vdd`] — the VDD-HOPPING adaptation: bracket each continuous speed
+//!   with the two closest modes while preserving execution time *and*
+//!   reliability (TRI-CRIT VDD is NP-complete; this is the paper's
+//!   constructive heuristic).
+
+pub mod chain;
+pub mod fork;
+pub mod heuristics;
+pub mod vdd;
+
+use crate::schedule::Schedule;
+
+/// A TRI-CRIT solution: schedule (with re-executions), its energy, and the
+/// re-execution set.
+#[derive(Debug, Clone)]
+pub struct TriCritSolution {
+    /// The witness schedule (one or two executions per task).
+    pub schedule: Schedule,
+    /// Total worst-case energy (both executions charged).
+    pub energy: f64,
+    /// `reexecuted[i]` is true iff task `i` is executed twice.
+    pub reexecuted: Vec<bool>,
+}

@@ -1,0 +1,272 @@
+//! TRI-CRIT under VDD-HOPPING: the adaptation of the continuous
+//! heuristics (paper, Section IV).
+//!
+//! TRI-CRIT is NP-complete under VDD-HOPPING (while BI-CRIT was in P), so
+//! the paper adapts the continuous heuristics: *"for a solution given by a
+//! heuristic for the CONTINUOUS model, if a task should be executed at the
+//! continuous speed `f`, then we would execute it at the two closest
+//! discrete speeds that bound `f`, while matching the execution time and
+//! reliability for this task"*.
+//!
+//! Matching both constraints needs care: mixing the bracketing modes
+//! `f_lo ≤ f ≤ f_hi` at the continuous duration `w/f` preserves the work
+//! and the time, but the fault rate `λ(f)` is **convex** in `f`, so the
+//! mixture can be *less* reliable than the constant-speed execution. The
+//! fix implemented here shortens the execution (shifting time towards
+//! `f_hi`) until the per-execution failure probability is back at the
+//! continuous level — the duration only shrinks, so the deadline stays
+//! met. Energy strictly decreases in the duration, so we take the longest
+//! reliable duration (bisection; the failure probability is monotone in
+//! the duration).
+
+use super::TriCritSolution;
+use crate::error::CoreError;
+use crate::reliability::ReliabilityModel;
+use crate::schedule::{ExecSpec, Schedule, TaskSchedule};
+use crate::speed::SpeedModel;
+use ea_taskgraph::Dag;
+
+/// Result of the VDD adaptation.
+#[derive(Debug, Clone)]
+pub struct VddTriSolution {
+    /// The adapted schedule (VDD segment executions).
+    pub schedule: Schedule,
+    /// Its worst-case energy.
+    pub energy: f64,
+    /// Energy of the continuous solution it was derived from.
+    pub continuous_energy: f64,
+    /// `energy / continuous_energy` — the performance loss of hopping.
+    pub loss_factor: f64,
+}
+
+/// Adapts one execution at continuous speed `f` (weight `w`) to the mode
+/// set, keeping duration ≤ `w/f` and failure probability ≤ `p_budget`.
+fn adapt_execution(
+    w: f64,
+    f: f64,
+    p_budget: f64,
+    rel: &ReliabilityModel,
+    model: &SpeedModel,
+) -> Result<ExecSpec, CoreError> {
+    let modes = model
+        .modes()
+        .ok_or_else(|| CoreError::StructureMismatch("VDD adaptation needs modes".into()))?;
+    // Climb mode pairs from the bracket upwards until reliable.
+    let (lo0, hi0) = model.bracket(f).ok_or_else(|| {
+        CoreError::Infeasible(format!("continuous speed {f} outside the mode range"))
+    })?;
+    let start = modes
+        .iter()
+        .position(|&m| (m - hi0).abs() <= 1e-9 * m.max(1.0))
+        .expect("bracket returns modes");
+    let mut lo = lo0;
+    for &hi in &modes[start..] {
+        if (hi - lo).abs() <= 1e-12 {
+            // Single mode: duration w/lo, check reliability directly.
+            let p = rel.failure_prob(w, lo);
+            if p <= p_budget * (1.0 + 1e-9) {
+                return Ok(ExecSpec::Vdd { segments: vec![(lo, w / lo)] });
+            }
+            lo = hi;
+            continue;
+        }
+        // Mix lo/hi with duration d ∈ [w/hi, min(w/lo, w/f)]:
+        // t_hi = (w − lo·d)/(hi − lo), t_lo = d − t_hi.
+        let d_max = (w / lo).min(w / f);
+        let d_min = w / hi;
+        let prob = |d: f64| {
+            let t_hi = (w - lo * d) / (hi - lo);
+            let t_lo = d - t_hi;
+            rel.failure_prob_segments(&[(lo, t_lo.max(0.0)), (hi, t_hi.max(0.0))])
+        };
+        if prob(d_min) <= p_budget * (1.0 + 1e-9) {
+            // Monotone increasing in d: bisect for the largest reliable d
+            // (longest duration = least energy).
+            let (mut a, mut b) = (d_min, d_max);
+            if prob(d_max) <= p_budget * (1.0 + 1e-9) {
+                a = d_max;
+            } else {
+                for _ in 0..100 {
+                    let mid = 0.5 * (a + b);
+                    if prob(mid) <= p_budget * (1.0 + 1e-9) {
+                        a = mid;
+                    } else {
+                        b = mid;
+                    }
+                }
+            }
+            let d = a;
+            let t_hi = ((w - lo * d) / (hi - lo)).max(0.0);
+            let t_lo = (d - t_hi).max(0.0);
+            let mut segments = Vec::new();
+            if t_lo > 1e-12 {
+                segments.push((lo, t_lo));
+            }
+            if t_hi > 1e-12 {
+                segments.push((hi, t_hi));
+            }
+            if segments.is_empty() {
+                segments.push((hi, w / hi));
+            }
+            return Ok(ExecSpec::Vdd { segments });
+        }
+        lo = hi;
+    }
+    // Last resort: pure fmax.
+    let fmax = *modes.last().expect("non-empty modes");
+    let p = rel.failure_prob(w, fmax);
+    if p <= p_budget * (1.0 + 1e-9) {
+        return Ok(ExecSpec::Vdd { segments: vec![(fmax, w / fmax)] });
+    }
+    Err(CoreError::Infeasible(format!(
+        "no mode combination meets the reliability budget for weight {w}"
+    )))
+}
+
+/// Adapts a continuous TRI-CRIT solution to a VDD-HOPPING mode set.
+///
+/// Each execution's failure-probability budget is its continuous failure
+/// probability, so the per-task constraint (product over executions) is
+/// preserved; each execution's duration never grows, so the makespan is
+/// preserved.
+pub fn adapt(
+    dag: &Dag,
+    cont: &TriCritSolution,
+    rel: &ReliabilityModel,
+    model: &SpeedModel,
+) -> Result<VddTriSolution, CoreError> {
+    let mut tasks = Vec::with_capacity(cont.schedule.len());
+    for (t, ts) in cont.schedule.tasks.iter().enumerate() {
+        let w = dag.weight(t);
+        let mut executions = Vec::with_capacity(ts.executions.len());
+        for e in &ts.executions {
+            let f = match e {
+                ExecSpec::Single { speed } => *speed,
+                ExecSpec::Vdd { .. } => {
+                    return Err(CoreError::StructureMismatch(
+                        "adaptation expects a continuous (constant-speed) solution".into(),
+                    ))
+                }
+            };
+            let p_budget = rel.failure_prob(w, f);
+            executions.push(adapt_execution(w, f, p_budget, rel, model)?);
+        }
+        tasks.push(TaskSchedule { executions });
+    }
+    let schedule = Schedule { tasks };
+    let energy = schedule.energy(dag);
+    let continuous_energy = cont.energy;
+    Ok(VddTriSolution {
+        schedule,
+        energy,
+        continuous_energy,
+        loss_factor: energy / continuous_energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::tricrit::chain;
+    use ea_taskgraph::generators;
+
+    fn rel() -> ReliabilityModel {
+        ReliabilityModel::typical(1.0, 2.0, 1.8)
+    }
+
+    fn modes() -> SpeedModel {
+        SpeedModel::vdd_hopping(vec![1.0, 1.2, 1.4, 1.6, 1.8, 2.0])
+    }
+
+    #[test]
+    fn adaptation_preserves_all_constraints() {
+        let rel = rel();
+        let model = modes();
+        let w = generators::random_weights(8, 0.5, 2.0, 3);
+        let d = 1.8 * w.iter().sum::<f64>() / rel.fmax;
+        let cont = chain::solve_greedy(&w, d, &rel).unwrap();
+        let adapted = adapt(&generators::chain(&w), &cont, &rel, &model).unwrap();
+
+        let dag = generators::chain(&w);
+        let mapping = crate::platform::Mapping::single_processor((0..w.len()).collect());
+        adapted
+            .schedule
+            .validate(&dag, &model, &mapping, Some(d))
+            .unwrap();
+        assert!(adapted.schedule.reliability_ok(&dag, &rel), "reliability lost");
+    }
+
+    #[test]
+    fn loss_factor_at_least_one() {
+        let rel = rel();
+        let model = modes();
+        let w = generators::random_weights(6, 0.5, 2.0, 8);
+        let d = 2.0 * w.iter().sum::<f64>() / rel.fmax;
+        let cont = chain::solve_greedy(&w, d, &rel).unwrap();
+        let adapted = adapt(&generators::chain(&w), &cont, &rel, &model).unwrap();
+        assert!(
+            adapted.loss_factor >= 1.0 - 1e-9,
+            "hopping cannot beat the continuous optimum: {}",
+            adapted.loss_factor
+        );
+    }
+
+    #[test]
+    fn more_modes_reduce_the_loss() {
+        let rel = rel();
+        let w = generators::random_weights(6, 0.5, 2.0, 4);
+        let d = 2.0 * w.iter().sum::<f64>() / rel.fmax;
+        let cont = chain::solve_greedy(&w, d, &rel).unwrap();
+        let dag = generators::chain(&w);
+        let coarse = SpeedModel::vdd_hopping(vec![1.0, 2.0]);
+        let fine = SpeedModel::vdd_hopping((0..=20).map(|i| 1.0 + 0.05 * i as f64).collect::<Vec<_>>());
+        let lc = adapt(&dag, &cont, &rel, &coarse).unwrap().loss_factor;
+        let lf = adapt(&dag, &cont, &rel, &fine).unwrap().loss_factor;
+        assert!(lf <= lc * (1.0 + 1e-9), "finer modes should lose less: {lf} vs {lc}");
+    }
+
+    #[test]
+    fn exact_mode_speed_passes_through() {
+        let rel = rel();
+        let model = modes();
+        // Force a continuous solution whose speed is exactly a mode.
+        let cont = TriCritSolution {
+            schedule: Schedule { tasks: vec![TaskSchedule::once(1.8)] },
+            energy: 1.0 * 1.8 * 1.8,
+            reexecuted: vec![false],
+        };
+        let dag = generators::chain(&[1.0]);
+        let adapted = adapt(&dag, &cont, &rel, &model).unwrap();
+        assert!((adapted.loss_factor - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speed_outside_mode_range_rejected() {
+        let rel = rel();
+        let model = SpeedModel::vdd_hopping(vec![1.5, 2.0]);
+        let cont = TriCritSolution {
+            schedule: Schedule { tasks: vec![TaskSchedule::once(1.0)] },
+            energy: 1.0,
+            reexecuted: vec![false],
+        };
+        let dag = generators::chain(&[1.0]);
+        assert!(adapt(&dag, &cont, &rel, &model).is_err());
+    }
+
+    #[test]
+    fn works_on_fork_solutions() {
+        let rel = rel();
+        let model = modes();
+        let ws = [1.0, 2.0, 0.5];
+        let d = 6.0;
+        let cont = crate::tricrit::fork::solve(1.5, &ws, d, &rel).unwrap();
+        let inst = Instance::fork(1.5, &ws, d).unwrap();
+        let adapted = adapt(&inst.dag, &cont, &rel, &model).unwrap();
+        adapted
+            .schedule
+            .validate(&inst.dag, &model, &inst.mapping, Some(d))
+            .unwrap();
+        assert!(adapted.schedule.reliability_ok(&inst.dag, &rel));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the speed and reliability models.
+
+use ea_core::reliability::ReliabilityModel;
+use ea_core::speed::SpeedModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// round_up returns an admissible speed ≥ the request, and the
+    /// *smallest* such grid point for the INCREMENTAL model.
+    #[test]
+    fn round_up_minimal_admissible(
+        fmin in 0.2f64..1.0,
+        span in 0.5f64..2.0,
+        delta in 0.01f64..0.4,
+        q in 0.0f64..1.0,
+    ) {
+        let fmax = fmin + span;
+        let model = SpeedModel::incremental(fmin, fmax, delta);
+        let f = fmin + q * (model.fmax() - fmin);
+        let r = model.round_up(f).expect("within grid range");
+        prop_assert!(model.admissible(r), "{r} not admissible");
+        prop_assert!(r >= f - 1e-9, "rounded down: {r} < {f}");
+        // Minimality: one grid step below r is < f (or r is the floor).
+        if r > fmin + 1e-9 {
+            prop_assert!(r - delta < f + 1e-6, "not minimal: {r} vs {f} (δ={delta})");
+        }
+    }
+
+    /// bracket() returns adjacent modes that actually bracket the speed.
+    #[test]
+    fn bracket_brackets(seed in 0u64..1000, q in 0.0f64..1.0) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = rng.random_range(2..8usize);
+        let modes: Vec<f64> = (0..m).map(|_| rng.random_range(0.5..3.0)).collect();
+        let model = SpeedModel::vdd_hopping(modes.clone());
+        let sorted = model.modes().expect("has modes");
+        let f = sorted[0] + q * (sorted[sorted.len() - 1] - sorted[0]);
+        let (lo, hi) = model.bracket(f).expect("inside range");
+        prop_assert!(lo <= f + 1e-9 && f <= hi + 1e-9, "({lo},{hi}) vs {f}");
+        prop_assert!(model.admissible(lo) && model.admissible(hi));
+        // Adjacency: no mode strictly between lo and hi.
+        prop_assert!(!sorted.iter().any(|&x| x > lo + 1e-9 && x < hi - 1e-9));
+    }
+
+    /// Failure probability decreases with speed and increases with weight
+    /// (Eq. (1) monotonicity).
+    #[test]
+    fn failure_prob_monotone(
+        w in 0.1f64..5.0,
+        f1 in 1.0f64..1.99,
+        bump_f in 0.001f64..0.5,
+        bump_w in 0.001f64..2.0,
+    ) {
+        let rel = ReliabilityModel::typical(1.0, 2.5, 2.0);
+        let f2 = (f1 + bump_f).min(2.5);
+        prop_assert!(rel.failure_prob(w, f2) <= rel.failure_prob(w, f1) + 1e-15);
+        prop_assert!(rel.failure_prob(w + bump_w, f1) >= rel.failure_prob(w, f1));
+    }
+
+    /// The equal re-execution speed is the true threshold: the pair
+    /// constraint holds at g_min and fails just below (unless clamped).
+    #[test]
+    fn reexec_floor_is_tight(w in 0.1f64..20.0) {
+        let rel = ReliabilityModel::typical(1.0, 2.0, 1.8);
+        let g = rel.reexec_equal_speed_min(w);
+        prop_assert!(g >= rel.fmin && g <= rel.frel + 1e-12);
+        prop_assert!(rel.pair_ok(w, g, g));
+        if g > rel.fmin + 1e-6 {
+            prop_assert!(!rel.pair_ok(w, g - 1e-5, g - 1e-5), "floor not tight at w={w}");
+        }
+    }
+
+    /// Re-execution always meets the constraint more easily than a single
+    /// execution at the same speed: pair_ok(f_rel, f_rel) for every weight.
+    #[test]
+    fn reexec_at_frel_always_ok(w in 0.01f64..50.0) {
+        let rel = ReliabilityModel::typical(1.0, 2.0, 1.8);
+        prop_assert!(rel.pair_ok(w, rel.frel, rel.frel));
+        prop_assert!(rel.single_ok(w, rel.frel));
+    }
+}

@@ -1,0 +1,130 @@
+//! Cholesky factorisation for symmetric positive definite matrices.
+
+use crate::matrix::{Matrix, MatrixError};
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; positive definiteness is
+    /// detected during factorisation (a non-positive pivot fails).
+    pub fn new(a: &Matrix) -> Result<Self, MatrixError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(MatrixError::DimensionMismatch {
+                expected: (n, n),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(MatrixError::NotPositiveDefinite { row: i });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via forward then backward substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(b.len(), n, "rhs length");
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn factor_known_spd() {
+        let a = Matrix::from_nested(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_nested(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn random_spd_round_trip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 3, 10, 40] {
+            // A = Bᵀ·B + n·I is SPD.
+            let mut b = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    b[(i, j)] = rng.random_range(-1.0..1.0);
+                }
+            }
+            let mut a = b.transpose().mul(&b).unwrap();
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| rng.random_range(-2.0..2.0)).collect();
+            let rhs = a.mul_vec(&x_true);
+            let x = Cholesky::new(&a).unwrap().solve(&rhs);
+            for (xi, ti) in x.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ea-linalg
+//!
+//! A small, dependency-free dense linear-algebra kernel: exactly the pieces
+//! the convex solver (`ea-convex`) needs to run damped Newton steps on the
+//! KKT systems of the CONTINUOUS BI-CRIT programs.
+//!
+//! * [`Matrix`] — dense row-major `f64` matrix with the usual arithmetic.
+//! * [`lu::LuFactors`] — LU with partial pivoting, for general square
+//!   systems (the Newton/KKT solve).
+//! * [`cholesky::Cholesky`] — `L·Lᵀ` factorisation for symmetric positive
+//!   definite systems (the Schur complements produced by barrier Hessians).
+//!
+//! Sizes in this workspace stay in the hundreds, so an `O(n³)` dense kernel
+//! is the right tool: simple, cache-friendly, allocation-light.
+
+// Dense factorisation kernels are written with explicit index loops on
+// purpose: the triangular access patterns do not map onto iterators without
+// obscuring the algorithm.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod lu;
+pub mod matrix;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use lu::LuFactors;
+pub use matrix::{Matrix, MatrixError};

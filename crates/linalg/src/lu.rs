@@ -1,0 +1,164 @@
+//! LU factorisation with partial pivoting.
+
+use crate::matrix::{Matrix, MatrixError};
+
+/// LU factors `P·A = L·U` of a square matrix, stored compactly: the strict
+/// lower triangle of `lu` holds `L` (unit diagonal implied), the upper
+/// triangle holds `U`; `perm[i]` is the source row of pivoted row `i`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Factors `a`; fails on non-square or numerically singular inputs.
+    pub fn new(a: &Matrix) -> Result<Self, MatrixError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(MatrixError::DimensionMismatch {
+                expected: (n, n),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(MatrixError::Singular { pivot: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= m * ukj;
+                }
+            }
+        }
+        Ok(LuFactors { lu, perm, sign })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(b.len(), n, "rhs length");
+        // Apply permutation, forward-substitute L, back-substitute U.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.order() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn solve_small_system() {
+        let a = Matrix::from_nested(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = LuFactors::new(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_and_pivoting() {
+        // Requires a row swap (zero pivot in (0,0)).
+        let a = Matrix::from_nested(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = LuFactors::new(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+        let x = lu.solve(&[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_nested(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(LuFactors::new(&a), Err(MatrixError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactors::new(&a),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn random_round_trip() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 5, 20, 50] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.random_range(-1.0..1.0);
+                }
+                a[(i, i)] += 4.0; // diagonally dominant ⇒ nonsingular
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| rng.random_range(-2.0..2.0)).collect();
+            let b = a.mul_vec(&x_true);
+            let x = LuFactors::new(&a).unwrap().solve(&b);
+            for (xi, ti) in x.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-8, "n={n}: {xi} vs {ti}");
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the dense kernel: LU and Cholesky act as inverses
+//! of matrix multiplication, determinants multiply, and solves are
+//! backward-stable on well-conditioned random systems.
+
+use ea_linalg::{Cholesky, LuFactors, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_dd_matrix(n: usize, seed: u64) -> Matrix {
+    // Diagonally dominant ⇒ nonsingular and well conditioned.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = rng.random_range(-1.0..1.0);
+        }
+        a[(i, i)] += n as f64 + 1.0;
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `solve(A, A·x) = x` for random diagonally-dominant systems.
+    #[test]
+    fn lu_solve_round_trip(n in 1usize..30, seed in 0u64..10_000) {
+        let a = random_dd_matrix(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let x: Vec<f64> = (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
+        let b = a.mul_vec(&x);
+        let got = LuFactors::new(&a).expect("nonsingular").solve(&b);
+        for (g, t) in got.iter().zip(&x) {
+            prop_assert!((g - t).abs() < 1e-7, "{g} vs {t}");
+        }
+    }
+
+    /// det(A·B) = det(A)·det(B).
+    #[test]
+    fn determinant_multiplicative(n in 1usize..8, s1 in 0u64..1_000, s2 in 0u64..1_000) {
+        let a = random_dd_matrix(n, s1);
+        let b = random_dd_matrix(n, s2.wrapping_add(77));
+        let da = LuFactors::new(&a).expect("ok").determinant();
+        let db = LuFactors::new(&b).expect("ok").determinant();
+        let dab = LuFactors::new(&a.mul(&b).expect("square")).expect("ok").determinant();
+        prop_assert!((dab - da * db).abs() <= 1e-6 * dab.abs().max(1.0),
+            "det(AB) {} vs det(A)det(B) {}", dab, da * db);
+    }
+
+    /// Cholesky reconstructs: L·Lᵀ = A for random SPD matrices.
+    #[test]
+    fn cholesky_reconstructs(n in 1usize..15, seed in 0u64..10_000) {
+        let b = random_dd_matrix(n, seed);
+        let mut a = b.transpose().mul(&b).expect("square");
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let ch = Cholesky::new(&a).expect("SPD");
+        let l = ch.factor();
+        let llt = l.mul(&l.transpose()).expect("square");
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((llt[(i, j)] - a[(i, j)]).abs() <= 1e-8 * a[(i, i)].max(1.0));
+            }
+        }
+    }
+
+    /// LU and Cholesky agree on SPD systems.
+    #[test]
+    fn lu_and_cholesky_agree(n in 1usize..12, seed in 0u64..10_000) {
+        let b = random_dd_matrix(n, seed);
+        let mut a = b.transpose().mul(&b).expect("square");
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let rhs: Vec<f64> = (0..n).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let x1 = LuFactors::new(&a).expect("ok").solve(&rhs);
+        let x2 = Cholesky::new(&a).expect("ok").solve(&rhs);
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    /// Transpose is an involution and preserves the Frobenius norm.
+    #[test]
+    fn transpose_involution(r in 1usize..10, c in 1usize..10, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Matrix::zeros(r, c);
+        for i in 0..r {
+            for j in 0..c {
+                a[(i, j)] = rng.random_range(-5.0..5.0);
+            }
+        }
+        let t = a.transpose();
+        prop_assert_eq!(t.transpose(), a.clone());
+        prop_assert!((t.frobenius_norm() - a.frobenius_norm()).abs() < 1e-12);
+    }
+}

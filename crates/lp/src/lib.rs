@@ -1,0 +1,21 @@
+//! # ea-lp
+//!
+//! A self-contained linear-programming solver: problem builder
+//! ([`LpProblem`]) plus a dense two-phase primal simplex ([`simplex`]).
+//!
+//! The paper's headline polynomial-complexity result (BI-CRIT under the
+//! VDD-HOPPING model is in P, Section IV) is *constructive*: it exhibits a
+//! linear program. No LP crate is available offline, so this crate
+//! implements the solver from scratch — it is a first-class substrate of
+//! the reproduction, exercised both directly (`ea-core::bicrit::vdd`) and
+//! as the relaxation oracle inside the DISCRETE branch-and-bound solver.
+//!
+//! Scope: minimisation over `x ≥ 0` with `≤ / = / ≥` row constraints —
+//! exactly the shape of the VDD-HOPPING program. Two-phase method with
+//! Dantzig pricing and automatic fallback to Bland's rule for anti-cycling.
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Cmp, LpProblem};
+pub use simplex::{LpOutcome, LpSolution, SimplexError};

@@ -1,0 +1,148 @@
+//! LP model builder.
+
+use crate::simplex::{self, LpOutcome};
+
+/// Comparison direction of a row constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// A row constraint: sparse coefficients, direction and right-hand side.
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    pub coeffs: Vec<(usize, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear program `min c·x` subject to row constraints and `x ≥ 0`.
+///
+/// ```
+/// use ea_lp::{LpProblem, Cmp, LpOutcome};
+/// // min x0 + 2 x1   s.t.  x0 + x1 ≥ 1,  x1 ≤ 0.4,  x ≥ 0
+/// let mut lp = LpProblem::new(2);
+/// lp.set_objective(0, 1.0);
+/// lp.set_objective(1, 2.0);
+/// lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Ge, 1.0);
+/// lp.add_constraint(&[(1, 1.0)], Cmp::Le, 0.4);
+/// match lp.solve() {
+///     LpOutcome::Optimal(sol) => {
+///         assert!((sol.objective - 1.0).abs() < 1e-9); // x0 = 1, x1 = 0
+///     }
+///     other => panic!("unexpected outcome {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    pub(crate) n_vars: usize,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) rows: Vec<Row>,
+}
+
+impl LpProblem {
+    /// A minimisation problem over `n_vars` non-negative variables with a
+    /// zero objective (set coefficients with [`LpProblem::set_objective`]).
+    pub fn new(n_vars: usize) -> Self {
+        LpProblem {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of row constraints.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.n_vars, "objective variable out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Adds a constraint `Σ coeffs·x  cmp  rhs`. Repeated variable indices
+    /// within one row are summed.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], cmp: Cmp, rhs: f64) {
+        for &(v, _) in coeffs {
+            assert!(v < self.n_vars, "constraint variable {v} out of range");
+        }
+        assert!(rhs.is_finite(), "rhs must be finite");
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(coeffs.len());
+        for &(v, c) in coeffs {
+            if let Some(slot) = merged.iter_mut().find(|(mv, _)| *mv == v) {
+                slot.1 += c;
+            } else {
+                merged.push((v, c));
+            }
+        }
+        self.rows.push(Row { coeffs: merged, cmp, rhs });
+    }
+
+    /// Solves with the two-phase primal simplex.
+    pub fn solve(&self) -> LpOutcome {
+        simplex::solve(self)
+    }
+
+    /// Evaluates the objective at a point (for cross-checking solutions).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_vars);
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Maximum constraint violation of `x` (0 means feasible), including
+    /// non-negativity.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_vars);
+        let mut worst = x.iter().fold(0.0f64, |m, &v| m.max(-v));
+        for row in &self.rows {
+            let lhs: f64 = row.coeffs.iter().map(|&(v, c)| c * x[v]).sum();
+            let viol = match row.cmp {
+                Cmp::Le => lhs - row.rhs,
+                Cmp::Ge => row.rhs - lhs,
+                Cmp::Eq => (lhs - row.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_merges_duplicate_coeffs() {
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(&[(0, 1.0), (0, 2.0), (1, 1.0)], Cmp::Le, 5.0);
+        assert_eq!(lp.rows[0].coeffs, vec![(0, 3.0), (1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_variable() {
+        let mut lp = LpProblem::new(1);
+        lp.add_constraint(&[(3, 1.0)], Cmp::Le, 1.0);
+    }
+
+    #[test]
+    fn violation_measure() {
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Ge, 2.0);
+        assert!((lp.max_violation(&[1.0, 1.0]) - 0.0).abs() < 1e-12);
+        assert!((lp.max_violation(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((lp.max_violation(&[-1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,459 @@
+//! Two-phase dense primal simplex.
+//!
+//! Standard textbook construction: the problem is brought to equational
+//! form with slack/surplus variables, phase 1 minimises the sum of
+//! artificial variables to find a basic feasible solution, phase 2
+//! optimises the true objective. Pricing is Dantzig's rule with an
+//! automatic switch to Bland's rule after a stall, which guarantees
+//! termination on degenerate instances.
+
+use crate::problem::{Cmp, LpProblem};
+
+/// Numerical tolerance for pivoting and feasibility decisions.
+const EPS: f64 = 1e-9;
+/// Iterations of non-improvement before switching to Bland's rule.
+const STALL_LIMIT: usize = 200;
+/// Hard iteration cap (defensive; Bland guarantees finiteness well below).
+const MAX_ITER: usize = 2_000_000;
+
+/// A primal solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal objective value (minimisation).
+    pub objective: f64,
+    /// Optimal point, one entry per problem variable.
+    pub x: Vec<f64>,
+    /// Simplex pivot count (phases 1 + 2) — used by the polynomial-scaling
+    /// experiment E3.
+    pub pivots: usize,
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// Finite optimum found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// The iteration cap was hit (never observed in practice; reported
+    /// rather than panicking so callers can degrade gracefully).
+    Stalled,
+}
+
+impl LpOutcome {
+    /// Unwraps the optimal solution, panicking otherwise (test helper).
+    pub fn expect_optimal(self, msg: &str) -> LpSolution {
+        match self {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("{msg}: {other:?}"),
+        }
+    }
+
+    /// The optimal solution if any.
+    pub fn optimal(self) -> Option<LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Errors surfaced by lower-level tableau operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimplexError {
+    /// Pivot element too small — indicates a modelling/numeric problem.
+    BadPivot { row: usize, col: usize },
+}
+
+impl std::fmt::Display for SimplexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplexError::BadPivot { row, col } => write!(f, "bad pivot at ({row},{col})"),
+        }
+    }
+}
+
+impl std::error::Error for SimplexError {}
+
+/// Dense simplex tableau in equational form.
+struct Tableau {
+    /// rows × (cols+1); last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length cols+1; last entry is −value.
+    z: Vec<f64>,
+    /// Basis: for each row, the column index of its basic variable.
+    basis: Vec<usize>,
+    n_cols: usize,
+    pivots: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, r: usize, c: usize) {
+        let piv = self.a[r][c];
+        debug_assert!(piv.abs() > EPS, "pivot too small");
+        let inv = 1.0 / piv;
+        for v in self.a[r].iter_mut() {
+            *v *= inv;
+        }
+        let (pr, rows) = {
+            let row = self.a[r].clone();
+            (row, &mut self.a)
+        };
+        for (ri, row) in rows.iter_mut().enumerate() {
+            if ri == r {
+                continue;
+            }
+            let f = row[c];
+            if f == 0.0 {
+                continue;
+            }
+            for (v, p) in row.iter_mut().zip(&pr) {
+                *v -= f * p;
+            }
+            row[c] = 0.0; // exact zero to fight drift
+        }
+        let f = self.z[c];
+        if f != 0.0 {
+            for (v, p) in self.z.iter_mut().zip(&pr) {
+                *v -= f * p;
+            }
+            self.z[c] = 0.0;
+        }
+        self.basis[r] = c;
+        self.pivots += 1;
+    }
+
+    /// Runs the simplex loop on the current objective row.
+    /// Returns false if unbounded.
+    fn optimise(&mut self) -> Option<bool> {
+        let mut stall = 0usize;
+        let mut best = f64::INFINITY;
+        for _ in 0..MAX_ITER {
+            let bland = stall > STALL_LIMIT;
+            // Entering column: most negative reduced cost (Dantzig) or the
+            // first negative (Bland).
+            let mut enter: Option<usize> = None;
+            let mut best_rc = -EPS;
+            for c in 0..self.n_cols {
+                let rc = self.z[c];
+                if rc < -EPS {
+                    if bland {
+                        enter = Some(c);
+                        break;
+                    }
+                    if rc < best_rc {
+                        best_rc = rc;
+                        enter = Some(c);
+                    }
+                }
+            }
+            let Some(c) = enter else {
+                return Some(true); // optimal
+            };
+            // Leaving row: minimum ratio; Bland tie-break on basic variable
+            // index.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.a.len() {
+                let coef = self.a[r][c];
+                if coef > EPS {
+                    let ratio = self.a[r][self.n_cols] / coef;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]));
+                    if leave.is_none() || better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                return Some(false); // unbounded
+            };
+            self.pivot(r, c);
+            let val = -self.z[self.n_cols];
+            if val < best - EPS {
+                best = val;
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+        }
+        None // iteration cap
+    }
+
+    fn value(&self) -> f64 {
+        -self.z[self.n_cols]
+    }
+}
+
+/// Solves an [`LpProblem`] with the two-phase method.
+pub fn solve(lp: &LpProblem) -> LpOutcome {
+    let m = lp.rows.len();
+    let n = lp.n_vars;
+
+    // Column layout: [problem vars | slack/surplus | artificials].
+    let mut n_slack = 0usize;
+    for row in &lp.rows {
+        if row.cmp != Cmp::Eq {
+            n_slack += 1;
+        }
+    }
+    // Artificials are added per row lazily; at most one per row.
+    let mut cols = n + n_slack;
+    let mut art_cols: Vec<Option<usize>> = vec![None; m];
+
+    let mut a: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+
+    // First pass: lay out rows with slack/surplus and normalise rhs ≥ 0.
+    for (ri, row) in lp.rows.iter().enumerate() {
+        let mut dense = vec![0.0; cols + 1];
+        for &(v, cf) in &row.coeffs {
+            dense[v] += cf;
+        }
+        let mut rhs = row.rhs;
+        let mut cmp = row.cmp;
+        if rhs < 0.0 {
+            for v in dense.iter_mut() {
+                *v = -*v;
+            }
+            rhs = -rhs;
+            cmp = match cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+        match cmp {
+            Cmp::Le => {
+                dense[slack_idx] = 1.0;
+                basis[ri] = slack_idx; // slack starts basic, rhs ≥ 0 ⇒ feasible
+                slack_idx += 1;
+            }
+            Cmp::Ge => {
+                dense[slack_idx] = -1.0; // surplus
+                slack_idx += 1;
+                art_cols[ri] = Some(0); // placeholder, resolved below
+            }
+            Cmp::Eq => {
+                art_cols[ri] = Some(0);
+            }
+        }
+        dense[cols] = rhs;
+        a.push(dense);
+    }
+
+    // Allocate artificial columns.
+    let n_art = art_cols.iter().filter(|c| c.is_some()).count();
+    let total = cols + n_art;
+    let mut next_art = cols;
+    for row_vec in a.iter_mut() {
+        let rhs = row_vec.pop().expect("rhs present");
+        row_vec.resize(total, 0.0);
+        row_vec.push(rhs);
+    }
+    for (ri, slot) in art_cols.iter_mut().enumerate() {
+        if slot.is_some() {
+            a[ri][next_art] = 1.0;
+            basis[ri] = next_art;
+            *slot = Some(next_art);
+            next_art += 1;
+        }
+    }
+    cols = total;
+
+    let mut t = Tableau {
+        a,
+        z: vec![0.0; cols + 1],
+        basis,
+        n_cols: cols,
+        pivots: 0,
+    };
+
+    // ---- Phase 1: minimise the sum of artificials. ----
+    if n_art > 0 {
+        for c in (cols - n_art)..cols {
+            t.z[c] = 1.0;
+        }
+        // Price out the basic artificials.
+        for r in 0..m {
+            if t.basis[r] >= cols - n_art {
+                let row = t.a[r].clone();
+                for (zv, rv) in t.z.iter_mut().zip(&row) {
+                    *zv -= *rv;
+                }
+            }
+        }
+        match t.optimise() {
+            Some(true) => {}
+            Some(false) => return LpOutcome::Infeasible, // phase-1 can't be unbounded; defensive
+            None => return LpOutcome::Stalled,
+        }
+        if t.value() > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for r in 0..m {
+            if t.basis[r] >= cols - n_art {
+                // Find any non-artificial column with a usable pivot.
+                if let Some(c) = (0..cols - n_art).find(|&c| t.a[r][c].abs() > 1e-7) {
+                    t.pivot(r, c);
+                }
+                // Otherwise the row is redundant (all-zero in original
+                // columns); the artificial stays basic at value 0 — harmless.
+            }
+        }
+    }
+
+    // ---- Phase 2: true objective. ----
+    t.z = vec![0.0; cols + 1];
+    for v in 0..n {
+        t.z[v] = lp.objective[v];
+    }
+    // Forbid artificials from re-entering.
+    for c in (cols - n_art)..cols {
+        t.z[c] = 1e30;
+    }
+    // Price out basics.
+    for r in 0..m {
+        let b = t.basis[r];
+        let cb = t.z[b];
+        if cb != 0.0 {
+            let row = t.a[r].clone();
+            for (zv, rv) in t.z.iter_mut().zip(&row) {
+                *zv -= cb * *rv;
+            }
+            t.z[b] = 0.0;
+        }
+    }
+    match t.optimise() {
+        Some(true) => {}
+        Some(false) => return LpOutcome::Unbounded,
+        None => return LpOutcome::Stalled,
+    }
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            x[b] = t.a[r][cols];
+        }
+    }
+    let objective = lp.objective_value(&x);
+    LpOutcome::Optimal(LpSolution { objective, x, pivots: t.pivots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, LpProblem};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn basic_le_problem() {
+        // max x + y  s.t. x ≤ 2, y ≤ 3, x + y ≤ 4   (as min of negative)
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -1.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 2.0);
+        lp.add_constraint(&[(1, 1.0)], Cmp::Le, 3.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 4.0);
+        let s = lp.solve().expect_optimal("solvable");
+        assert_close(s.objective, -4.0);
+        assert!(lp.max_violation(&s.x) < 1e-9);
+    }
+
+    #[test]
+    fn equality_and_ge() {
+        // min 2x + 3y  s.t. x + y = 10, x ≥ 4  → x=10? no: y free ≥ 0.
+        // optimum: y = 0 impossible? x + y = 10, x ≥ 4 ⇒ take x = 10, y = 0:
+        // cost 20; or x = 4, y = 6: cost 8 + 18 = 26. So min is 20.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, 2.0);
+        lp.set_objective(1, 3.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 10.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 4.0);
+        let s = lp.solve().expect_optimal("solvable");
+        assert_close(s.objective, 20.0);
+        assert_close(s.x[0], 10.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LpProblem::new(1);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 5.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 2.0);
+        assert!(matches!(lp.solve(), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LpProblem::new(1);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 1.0);
+        assert!(matches!(lp.solve(), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // x ≥ 0, constraint -x ≤ -3  ⇔  x ≥ 3
+        let mut lp = LpProblem::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(&[(0, -1.0)], Cmp::Le, -3.0);
+        let s = lp.solve().expect_optimal("solvable");
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Beale's classic cycling example (with Dantzig pricing it cycles
+        // unless anti-cycling kicks in).
+        let mut lp = LpProblem::new(4);
+        lp.set_objective(0, -0.75);
+        lp.set_objective(1, 150.0);
+        lp.set_objective(2, -0.02);
+        lp.set_objective(3, 6.0);
+        lp.add_constraint(&[(0, 0.25), (1, -60.0), (2, -1.0 / 25.0), (3, 9.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(0, 0.5), (1, -90.0), (2, -1.0 / 50.0), (3, 3.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(2, 1.0)], Cmp::Le, 1.0);
+        let s = lp.solve().expect_optimal("Beale instance is solvable");
+        assert_close(s.objective, -0.05);
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        // x + y = 2 appears twice — a redundant row keeps an artificial
+        // basic at zero; the solve must still succeed.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
+        let s = lp.solve().expect_optimal("solvable");
+        assert_close(s.objective, 0.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let lp = LpProblem::new(0);
+        let s = lp.solve().expect_optimal("trivially optimal");
+        assert_eq!(s.x.len(), 0);
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn reports_pivot_counts() {
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 1.0);
+        let s = lp.solve().expect_optimal("solvable");
+        assert!(s.pivots >= 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the simplex solver: solutions are always feasible,
+//! agree with brute-force vertex enumeration on small random LPs, and
+//! obey weak duality against hand-constructed dual certificates.
+
+use ea_lp::{Cmp, LpOutcome, LpProblem};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force optimum of `min c·x` over `{x ≥ 0 : A x ≤ b}` for 2-D
+/// problems by enumerating all constraint-pair intersections (vertices of
+/// the polytope) plus the axes intersections.
+fn brute_force_2d(c: &[f64; 2], rows: &[([f64; 2], f64)]) -> Option<f64> {
+    let mut cands: Vec<[f64; 2]> = vec![[0.0, 0.0]];
+    // Axis intercepts.
+    for &(a, b) in rows {
+        if a[0].abs() > 1e-12 {
+            cands.push([b / a[0], 0.0]);
+        }
+        if a[1].abs() > 1e-12 {
+            cands.push([0.0, b / a[1]]);
+        }
+    }
+    // Pairwise intersections.
+    for i in 0..rows.len() {
+        for j in (i + 1)..rows.len() {
+            let (a1, b1) = rows[i];
+            let (a2, b2) = rows[j];
+            let det = a1[0] * a2[1] - a1[1] * a2[0];
+            if det.abs() > 1e-9 {
+                let x = (b1 * a2[1] - b2 * a1[1]) / det;
+                let y = (a1[0] * b2 - a2[0] * b1) / det;
+                cands.push([x, y]);
+            }
+        }
+    }
+    let feasible = |p: &[f64; 2]| {
+        p[0] >= -1e-9
+            && p[1] >= -1e-9
+            && rows
+                .iter()
+                .all(|&(a, b)| a[0] * p[0] + a[1] * p[1] <= b + 1e-7)
+    };
+    cands
+        .into_iter()
+        .filter(feasible)
+        .map(|p| c[0] * p[0] + c[1] * p[1])
+        .min_by(|x, y| x.partial_cmp(y).expect("finite"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Simplex = brute-force vertex enumeration on random 2-D LPs with
+    /// bounded feasible regions.
+    #[test]
+    fn matches_vertex_enumeration_2d(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = [rng.random_range(0.1..3.0), rng.random_range(0.1..3.0)];
+        // 2–5 random ≤-rows with positive coefficients (region bounded by
+        // x,y ≥ 0 and at least one row, and non-empty since 0 is feasible).
+        let m = rng.random_range(2..6usize);
+        let rows: Vec<([f64; 2], f64)> = (0..m)
+            .map(|_| {
+                (
+                    [rng.random_range(0.1..2.0), rng.random_range(0.1..2.0)],
+                    rng.random_range(0.5..5.0),
+                )
+            })
+            .collect();
+        // Maximise c·x (minimise -c·x) so the optimum is a non-trivial vertex.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, -c[0]);
+        lp.set_objective(1, -c[1]);
+        for &(a, b) in &rows {
+            lp.add_constraint(&[(0, a[0]), (1, a[1])], Cmp::Le, b);
+        }
+        let neg_c = [-c[0], -c[1]];
+        let brute = brute_force_2d(&neg_c, &rows).expect("0 is feasible");
+        match lp.solve() {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(lp.max_violation(&s.x) <= 1e-7, "infeasible solution");
+                prop_assert!((s.objective - brute).abs() <= 1e-6 * brute.abs().max(1.0),
+                    "simplex {} vs brute {}", s.objective, brute);
+            }
+            other => prop_assert!(false, "bounded LP must solve: {other:?}"),
+        }
+    }
+
+    /// Weak duality: for covering LPs `min c·x, A x ≥ b, x ≥ 0` any
+    /// feasible dual `y ≥ 0` with `Aᵀy ≤ c` gives `b·y ≤ OPT`.
+    #[test]
+    fn weak_duality_covering(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(2..5usize);
+        let m = rng.random_range(1..4usize);
+        let a: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.random_range(0.1..2.0)).collect())
+            .collect();
+        let b: Vec<f64> = (0..m).map(|_| rng.random_range(0.5..4.0)).collect();
+        let c: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..3.0)).collect();
+        let mut lp = LpProblem::new(n);
+        for (j, &cj) in c.iter().enumerate() {
+            lp.set_objective(j, cj);
+        }
+        for (i, row) in a.iter().enumerate() {
+            let coeffs: Vec<(usize, f64)> =
+                row.iter().enumerate().map(|(j, &v)| (j, v)).collect();
+            lp.add_constraint(&coeffs, Cmp::Ge, b[i]);
+        }
+        let opt = match lp.solve() {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(lp.max_violation(&s.x) <= 1e-7);
+                s.objective
+            }
+            other => return Err(TestCaseError::fail(format!("must solve: {other:?}"))),
+        };
+        // Construct a feasible dual: y = t·1 with t = min_j c_j / Σ_i a_ij.
+        let t = (0..n)
+            .map(|j| c[j] / a.iter().map(|row| row[j]).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        let dual_value: f64 = b.iter().map(|&bi| t * bi).sum();
+        prop_assert!(dual_value <= opt + 1e-6 * opt.abs().max(1.0),
+            "weak duality violated: dual {} > primal {}", dual_value, opt);
+    }
+
+    /// Scaling invariance: scaling the objective scales the optimum.
+    #[test]
+    fn objective_scaling(seed in 0u64..5_000, scale in 0.1f64..10.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lp = LpProblem::new(3);
+        for j in 0..3 {
+            lp.set_objective(j, rng.random_range(0.1..2.0));
+        }
+        lp.add_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], Cmp::Ge, 2.0);
+        let base = lp.solve().optimal().expect("covering LP solves").objective;
+        let mut scaled = lp.clone();
+        for j in 0..3 {
+            let cj = scale * match j { 0..=2 => {
+                // reconstruct: objective_value of unit vector
+                let mut unit = vec![0.0; 3];
+                unit[j] = 1.0;
+                lp.objective_value(&unit)
+            }, _ => unreachable!() };
+            scaled.set_objective(j, cj);
+        }
+        let s2 = scaled.solve().optimal().expect("still solves").objective;
+        prop_assert!((s2 - scale * base).abs() <= 1e-6 * (scale * base).abs().max(1.0));
+    }
+}

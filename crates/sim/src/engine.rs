@@ -1,0 +1,180 @@
+//! Single-run discrete-event execution with fault injection.
+
+use ea_core::platform::Mapping;
+use ea_core::reliability::ReliabilityModel;
+use ea_core::schedule::Schedule;
+use ea_taskgraph::Dag;
+use rand::Rng;
+
+/// Outcome of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// True iff every task eventually succeeded (some execution worked).
+    pub success: bool,
+    /// Observed makespan (second executions only run after failures, so
+    /// this is ≤ the schedule's worst-case makespan).
+    pub makespan: f64,
+    /// Energy actually consumed (skipped second executions cost nothing).
+    pub energy: f64,
+    /// Number of transient faults injected.
+    pub faults: usize,
+    /// Per-task: did the task ultimately fail (all executions faulted)?
+    pub task_failed: Vec<bool>,
+}
+
+/// Simulates one execution of `schedule` on the mapped platform, injecting
+/// transient faults per Eq. (1).
+///
+/// Tasks start as early as possible: the start of task `t` is the maximum
+/// finish time among its predecessors in the augmented DAG (precedence ∪
+/// same-processor order), which is exactly the semantics the makespan
+/// criterion assumes. A failed task does not block its successors' timing
+/// (the run is already lost; we keep timing to measure the full horizon),
+/// but the run is marked unsuccessful.
+pub fn simulate<R: Rng + ?Sized>(
+    dag: &Dag,
+    mapping: &Mapping,
+    schedule: &Schedule,
+    rel: &ReliabilityModel,
+    rng: &mut R,
+) -> SimResult {
+    let aug = mapping
+        .augmented_dag(dag)
+        .expect("mapping validated before simulation");
+    let n = dag.len();
+    assert_eq!(schedule.len(), n, "schedule must cover every task");
+
+    let mut finish = vec![0.0f64; n];
+    let mut task_failed = vec![false; n];
+    let mut energy = 0.0f64;
+    let mut faults = 0usize;
+    let mut makespan = 0.0f64;
+
+    for &t in &aug.topological_order() {
+        let start = aug
+            .predecessors(t)
+            .iter()
+            .map(|&p| finish[p])
+            .fold(0.0, f64::max);
+        let w = dag.weight(t);
+        let mut clock = start;
+        let mut succeeded = false;
+        for exec in &schedule.tasks[t].executions {
+            clock += exec.duration(w);
+            energy += exec.energy(w);
+            let p = exec.failure_prob(rel, w).clamp(0.0, 1.0);
+            if rng.random_bool(p) {
+                faults += 1;
+            } else {
+                succeeded = true;
+                break; // later executions are skipped on success
+            }
+        }
+        task_failed[t] = !succeeded;
+        finish[t] = clock;
+        makespan = makespan.max(clock);
+    }
+
+    SimResult {
+        success: task_failed.iter().all(|&f| !f),
+        makespan,
+        energy,
+        faults,
+        task_failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_core::schedule::TaskSchedule;
+    use ea_taskgraph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rel() -> ReliabilityModel {
+        ReliabilityModel::typical(1.0, 2.0, 1.8)
+    }
+
+    #[test]
+    fn fault_free_run_matches_schedule_metrics() {
+        // λ₀ so small that faults essentially never occur.
+        let rel = ReliabilityModel::new(1e-300, 3.0, 1.0, 2.0, 1.8);
+        let dag = generators::chain(&[2.0, 4.0]);
+        let mapping = Mapping::single_processor(vec![0, 1]);
+        let sched = Schedule::from_speeds(&[1.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = simulate(&dag, &mapping, &sched, &rel, &mut rng);
+        assert!(r.success);
+        assert_eq!(r.faults, 0);
+        assert!((r.makespan - 4.0).abs() < 1e-12);
+        assert!((r.energy - sched.energy(&dag)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_failure_marks_task() {
+        // λ₀ huge: every execution faults.
+        let rel = ReliabilityModel::new(1e9, 0.0, 1.0, 2.0, 1.8);
+        let dag = generators::chain(&[1.0]);
+        let mapping = Mapping::single_processor(vec![0]);
+        let sched = Schedule::from_speeds(&[1.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = simulate(&dag, &mapping, &sched, &rel, &mut rng);
+        assert!(!r.success);
+        assert!(r.task_failed[0]);
+        assert_eq!(r.faults, 1);
+    }
+
+    #[test]
+    fn reexecution_skipped_on_success() {
+        let rel = ReliabilityModel::new(1e-300, 3.0, 1.0, 2.0, 1.8);
+        let dag = generators::chain(&[2.0]);
+        let mapping = Mapping::single_processor(vec![0]);
+        let sched = Schedule { tasks: vec![TaskSchedule::twice(1.0, 1.0)] };
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = simulate(&dag, &mapping, &sched, &rel, &mut rng);
+        // only the first execution ran: energy w·f² = 2, makespan 2
+        assert!((r.energy - 2.0).abs() < 1e-12);
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reexecution_runs_on_failure() {
+        let rel = ReliabilityModel::new(1e9, 0.0, 1.0, 2.0, 1.8);
+        let dag = generators::chain(&[2.0]);
+        let mapping = Mapping::single_processor(vec![0]);
+        let sched = Schedule { tasks: vec![TaskSchedule::twice(1.0, 1.0)] };
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = simulate(&dag, &mapping, &sched, &rel, &mut rng);
+        assert!(!r.success);
+        assert_eq!(r.faults, 2);
+        assert!((r.energy - 4.0).abs() < 1e-12);
+        assert!((r.makespan - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_branches_overlap_in_time() {
+        let rel = ReliabilityModel::new(1e-300, 3.0, 1.0, 2.0, 1.8);
+        let dag = generators::fork(1.0, &[2.0, 2.0]);
+        let mapping =
+            Mapping::new(vec![0, 0, 1], vec![vec![0, 1], vec![2]]).unwrap();
+        let sched = Schedule::uniform(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = simulate(&dag, &mapping, &sched, &rel, &mut rng);
+        // source 1, then branches run in parallel: makespan 3, not 5.
+        assert!((r.makespan - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let rel = rel();
+        let dag = generators::chain(&[1.0, 1.0, 1.0]);
+        let mapping = Mapping::single_processor(vec![0, 1, 2]);
+        let sched = Schedule::uniform(3, 1.2);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            simulate(&dag, &mapping, &sched, &rel, &mut rng).faults
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,25 @@
+//! # ea-sim
+//!
+//! A discrete-event, fault-injecting execution simulator — the substitute
+//! for the DVFS hardware and fault-prone large-scale platforms the paper
+//! reasons about (petascale/exascale machines; see DESIGN.md §2).
+//!
+//! The simulator executes a [`ea_core::schedule::Schedule`] on its mapped
+//! platform. Each execution of task `i` at speed `f` suffers a transient
+//! fault with probability `p_i(f) = λ(f)·w_i/f` (Eq. (1) of the paper,
+//! integrated over segments for VDD-hopping executions). A re-executed
+//! task runs its second attempt only if the first fails — so the *actual*
+//! energy and makespan are at most the schedule's worst-case values, which
+//! the paper charges by design.
+//!
+//! * [`engine::simulate`] — one seeded run.
+//! * [`montecarlo::run_monte_carlo`] — many runs in parallel (rayon),
+//!   aggregating empirical task failure rates, application success rate,
+//!   actual energy and makespan. Experiment E9 uses this to show that
+//!   re-execution restores the reliability that DVFS destroys.
+
+pub mod engine;
+pub mod montecarlo;
+
+pub use engine::{simulate, SimResult};
+pub use montecarlo::{run_monte_carlo, MonteCarloStats};

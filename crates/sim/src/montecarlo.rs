@@ -1,0 +1,226 @@
+//! Monte-Carlo harness: many seeded runs in parallel.
+
+use crate::engine::{simulate, SimResult};
+use ea_core::platform::Mapping;
+use ea_core::reliability::ReliabilityModel;
+use ea_core::schedule::Schedule;
+use ea_taskgraph::Dag;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Aggregated statistics over a Monte-Carlo campaign.
+#[derive(Debug, Clone)]
+pub struct MonteCarloStats {
+    /// Number of runs.
+    pub runs: usize,
+    /// Fraction of runs where *every* task succeeded.
+    pub app_success_rate: f64,
+    /// Per-task empirical ultimate-failure rate (all executions faulted).
+    pub task_failure_rate: Vec<f64>,
+    /// Mean energy actually consumed (≤ worst case when re-executing).
+    pub mean_energy: f64,
+    /// Mean observed makespan.
+    pub mean_makespan: f64,
+    /// Largest observed makespan (must stay ≤ the worst-case makespan).
+    pub max_makespan: f64,
+    /// Mean number of injected faults per run.
+    pub mean_faults: f64,
+}
+
+impl MonteCarloStats {
+    /// The worst per-task empirical failure rate.
+    pub fn worst_task_failure_rate(&self) -> f64 {
+        self.task_failure_rate.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Runs `runs` independent simulations (seeds `seed, seed+1, …`) in
+/// parallel with rayon and aggregates the results.
+pub fn run_monte_carlo(
+    dag: &Dag,
+    mapping: &Mapping,
+    schedule: &Schedule,
+    rel: &ReliabilityModel,
+    runs: usize,
+    seed: u64,
+) -> MonteCarloStats {
+    assert!(runs > 0, "need at least one run");
+    let n = dag.len();
+
+    struct Acc {
+        ok: usize,
+        task_fail: Vec<u64>,
+        energy: f64,
+        makespan: f64,
+        max_makespan: f64,
+        faults: u64,
+    }
+    impl Acc {
+        fn new(n: usize) -> Self {
+            Acc {
+                ok: 0,
+                task_fail: vec![0; n],
+                energy: 0.0,
+                makespan: 0.0,
+                max_makespan: 0.0,
+                faults: 0,
+            }
+        }
+        fn add(mut self, r: &SimResult) -> Self {
+            if r.success {
+                self.ok += 1;
+            }
+            for (c, &f) in self.task_fail.iter_mut().zip(&r.task_failed) {
+                *c += u64::from(f);
+            }
+            self.energy += r.energy;
+            self.makespan += r.makespan;
+            self.max_makespan = self.max_makespan.max(r.makespan);
+            self.faults += r.faults as u64;
+            self
+        }
+        fn merge(mut self, other: Acc) -> Self {
+            self.ok += other.ok;
+            for (a, b) in self.task_fail.iter_mut().zip(&other.task_fail) {
+                *a += b;
+            }
+            self.energy += other.energy;
+            self.makespan += other.makespan;
+            self.max_makespan = self.max_makespan.max(other.max_makespan);
+            self.faults += other.faults;
+            self
+        }
+    }
+
+    let acc = (0..runs)
+        .into_par_iter()
+        .fold(
+            || Acc::new(n),
+            |acc, k| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(k as u64));
+                let r = simulate(dag, mapping, schedule, rel, &mut rng);
+                acc.add(&r)
+            },
+        )
+        .reduce(|| Acc::new(n), Acc::merge);
+
+    let rf = runs as f64;
+    MonteCarloStats {
+        runs,
+        app_success_rate: acc.ok as f64 / rf,
+        task_failure_rate: acc.task_fail.iter().map(|&c| c as f64 / rf).collect(),
+        mean_energy: acc.energy / rf,
+        mean_makespan: acc.makespan / rf,
+        max_makespan: acc.max_makespan,
+        mean_faults: acc.faults as f64 / rf,
+    }
+}
+
+/// Analytic per-task ultimate-failure probabilities of a schedule — what
+/// the empirical rates should converge to.
+pub fn expected_failure_probs(
+    dag: &Dag,
+    schedule: &Schedule,
+    rel: &ReliabilityModel,
+) -> Vec<f64> {
+    schedule
+        .tasks
+        .iter()
+        .zip(dag.weights())
+        .map(|(ts, &w)| ts.failure_prob(rel, w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_core::schedule::TaskSchedule;
+    use ea_taskgraph::generators;
+
+    /// A hot reliability model (large λ₀) so failures are frequent enough
+    /// to measure with few runs.
+    fn hot_rel() -> ReliabilityModel {
+        ReliabilityModel::new(0.05, 3.0, 1.0, 2.0, 1.8)
+    }
+
+    #[test]
+    fn empirical_failure_rate_matches_eq1() {
+        let rel = hot_rel();
+        let dag = generators::chain(&[1.0]);
+        let mapping = Mapping::single_processor(vec![0]);
+        let f = 1.2;
+        let sched = Schedule::from_speeds(&[f]);
+        let stats = run_monte_carlo(&dag, &mapping, &sched, &rel, 40_000, 7);
+        let expected = rel.failure_prob(1.0, f);
+        let got = stats.task_failure_rate[0];
+        // 40k samples: ±3σ ≈ ±3·sqrt(p/n) — generous band.
+        let tol = 3.0 * (expected / 40_000.0).sqrt() + 1e-3;
+        assert!(
+            (got - expected).abs() < tol,
+            "empirical {got} vs analytic {expected} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn reexecution_squares_the_failure_rate() {
+        let rel = hot_rel();
+        let dag = generators::chain(&[1.0]);
+        let mapping = Mapping::single_processor(vec![0]);
+        let f = 1.2;
+        let once = Schedule::from_speeds(&[f]);
+        let twice = Schedule { tasks: vec![TaskSchedule::twice(f, f)] };
+        let s1 = run_monte_carlo(&dag, &mapping, &once, &rel, 60_000, 1);
+        let s2 = run_monte_carlo(&dag, &mapping, &twice, &rel, 60_000, 2);
+        let p = rel.failure_prob(1.0, f);
+        assert!(s2.task_failure_rate[0] < s1.task_failure_rate[0]);
+        // The pair fails with probability p², versus p for one execution.
+        let tol = 3.0 * (p * p / 60_000.0).sqrt() + 5e-4;
+        assert!(
+            (s2.task_failure_rate[0] - p * p).abs() < tol,
+            "empirical {} vs p² = {}",
+            s2.task_failure_rate[0],
+            p * p
+        );
+    }
+
+    #[test]
+    fn makespan_never_exceeds_worst_case() {
+        let rel = hot_rel();
+        let w = generators::random_weights(6, 0.5, 2.0, 5);
+        let dag = generators::chain(&w);
+        let mapping = Mapping::single_processor((0..w.len()).collect());
+        let sched = Schedule {
+            tasks: w.iter().map(|_| TaskSchedule::twice(1.5, 1.5)).collect(),
+        };
+        let worst = sched.makespan(&dag, &mapping).unwrap();
+        let stats = run_monte_carlo(&dag, &mapping, &sched, &rel, 5_000, 9);
+        assert!(stats.max_makespan <= worst * (1.0 + 1e-9));
+        assert!(stats.mean_energy <= sched.energy(&dag) * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn expected_probs_helper_agrees_with_schedule() {
+        let rel = hot_rel();
+        let dag = generators::chain(&[1.0, 2.0]);
+        let sched = Schedule {
+            tasks: vec![TaskSchedule::once(1.5), TaskSchedule::twice(1.2, 1.2)],
+        };
+        let probs = expected_failure_probs(&dag, &sched, &rel);
+        assert!((probs[0] - rel.failure_prob(1.0, 1.5)).abs() < 1e-15);
+        let p2 = rel.failure_prob(2.0, 1.2);
+        assert!((probs[1] - p2 * p2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rel = hot_rel();
+        let dag = generators::chain(&[1.0, 1.0]);
+        let mapping = Mapping::single_processor(vec![0, 1]);
+        let sched = Schedule::uniform(2, 1.3);
+        let a = run_monte_carlo(&dag, &mapping, &sched, &rel, 2_000, 11);
+        let b = run_monte_carlo(&dag, &mapping, &sched, &rel, 2_000, 11);
+        assert_eq!(a.app_success_rate, b.app_success_rate);
+        assert_eq!(a.mean_faults, b.mean_faults);
+    }
+}

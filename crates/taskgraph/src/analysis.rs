@@ -1,0 +1,230 @@
+//! Temporal analysis of weighted DAGs.
+//!
+//! All routines take per-task *durations* (`d_i = w_i / f_i` once a speed is
+//! chosen) so the same machinery serves both the unit-speed structural
+//! analysis and the post-solver schedule analysis.
+
+use crate::graph::{Dag, TaskId};
+
+/// Earliest start times under infinite processors: the classic forward pass.
+///
+/// `est[i] = max over predecessors j of (est[j] + dur[j])`, sources at 0.
+pub fn earliest_start(dag: &Dag, dur: &[f64]) -> Vec<f64> {
+    assert_eq!(dur.len(), dag.len(), "one duration per task");
+    let mut est = vec![0.0f64; dag.len()];
+    for &t in &dag.topological_order() {
+        for &p in dag.predecessors(t) {
+            est[t] = est[t].max(est[p] + dur[p]);
+        }
+    }
+    est
+}
+
+/// Length of the longest (critical) path, measured in duration units.
+pub fn critical_path_length(dag: &Dag, dur: &[f64]) -> f64 {
+    let est = earliest_start(dag, dur);
+    (0..dag.len())
+        .map(|t| est[t] + dur[t])
+        .fold(0.0, f64::max)
+}
+
+/// Latest start times given a global deadline `horizon`.
+///
+/// `lst[i] = min over successors j of lst[j] − dur[i]`, sinks at
+/// `horizon − dur[i]`.
+pub fn latest_start(dag: &Dag, dur: &[f64], horizon: f64) -> Vec<f64> {
+    assert_eq!(dur.len(), dag.len());
+    let mut lst = vec![f64::INFINITY; dag.len()];
+    let order = dag.topological_order();
+    for &t in order.iter().rev() {
+        if dag.successors(t).is_empty() {
+            lst[t] = horizon - dur[t];
+        } else {
+            for &s in dag.successors(t) {
+                lst[t] = lst[t].min(lst[s] - dur[t]);
+            }
+        }
+    }
+    lst
+}
+
+/// Total float (slack) of each task w.r.t. a deadline: `lst − est`.
+///
+/// A task with zero float lies on a critical path; large float means the
+/// task is "highly parallelizable" in the sense used by the TRI-CRIT fork
+/// strategy (it can be slowed or re-executed without stretching the
+/// makespan).
+pub fn total_float(dag: &Dag, dur: &[f64], horizon: f64) -> Vec<f64> {
+    let est = earliest_start(dag, dur);
+    let lst = latest_start(dag, dur, horizon);
+    est.iter().zip(&lst).map(|(e, l)| l - e).collect()
+}
+
+/// Tasks on some critical path (float ≈ 0 w.r.t. the critical path length).
+pub fn critical_tasks(dag: &Dag, dur: &[f64]) -> Vec<TaskId> {
+    let horizon = critical_path_length(dag, dur);
+    let fl = total_float(dag, dur, horizon);
+    let eps = 1e-9 * horizon.max(1.0);
+    (0..dag.len()).filter(|&t| fl[t] <= eps).collect()
+}
+
+/// One maximal-length path through the DAG, as a task sequence.
+pub fn critical_path(dag: &Dag, dur: &[f64]) -> Vec<TaskId> {
+    let est = earliest_start(dag, dur);
+    // Find the sink with the largest completion time and walk backwards,
+    // always through a predecessor that realises the max.
+    let mut cur = (0..dag.len())
+        .max_by(|&a, &b| {
+            (est[a] + dur[a])
+                .partial_cmp(&(est[b] + dur[b]))
+                .expect("finite times")
+        })
+        .expect("non-empty DAG");
+    let mut path = vec![cur];
+    loop {
+        let mut next = None;
+        for &p in dag.predecessors(cur) {
+            if (est[p] + dur[p] - est[cur]).abs() <= 1e-9 * est[cur].max(1.0) {
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            Some(p) => {
+                path.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// Assigns each task to a "level": the number of edges on the longest
+/// edge-count path from any source. Useful for layered drawings and for the
+/// layered workload generators' self-checks.
+pub fn levels(dag: &Dag) -> Vec<usize> {
+    let mut lv = vec![0usize; dag.len()];
+    for &t in &dag.topological_order() {
+        for &p in dag.predecessors(t) {
+            lv[t] = lv[t].max(lv[p] + 1);
+        }
+    }
+    lv
+}
+
+/// Transitive reduction: the minimal sub-DAG with the same reachability.
+///
+/// Returns the list of edges to keep. O(V·E) — fine for the instance sizes
+/// used by the paper's experiments.
+pub fn transitive_reduction(dag: &Dag) -> Vec<(TaskId, TaskId)> {
+    let mut keep = Vec::new();
+    for &(s, d) in dag.edges() {
+        // Edge (s,d) is redundant iff d is reachable from s through a path
+        // that starts with a *different* successor of s.
+        let mut redundant = false;
+        for &m in dag.successors(s) {
+            if m != d && dag.reaches(m, d) {
+                redundant = true;
+                break;
+            }
+        }
+        if !redundant {
+            keep.push((s, d));
+        }
+    }
+    keep
+}
+
+/// Degree of parallelism proxy: maximal number of pairwise-incomparable
+/// tasks among `sample` random antichains is expensive; instead we report
+/// the maximum number of tasks sharing a level, a cheap standard proxy.
+pub fn width_proxy(dag: &Dag) -> usize {
+    let lv = levels(dag);
+    let max_lv = lv.iter().copied().max().unwrap_or(0);
+    let mut count = vec![0usize; max_lv + 1];
+    for &l in &lv {
+        count[l] += 1;
+    }
+    count.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn diamond() -> Dag {
+        Dag::from_parts(vec![1.0, 2.0, 3.0, 4.0], [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn earliest_start_diamond() {
+        let g = diamond();
+        let est = earliest_start(&g, g.weights());
+        assert_eq!(est, vec![0.0, 1.0, 1.0, 4.0]); // via task 2 (1+3)
+    }
+
+    #[test]
+    fn critical_path_diamond() {
+        let g = diamond();
+        assert_eq!(critical_path_length(&g, g.weights()), 8.0); // 0->2->3
+        assert_eq!(critical_path(&g, g.weights()), vec![0, 2, 3]);
+        assert_eq!(critical_tasks(&g, g.weights()), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn floats_diamond() {
+        let g = diamond();
+        let fl = total_float(&g, g.weights(), 8.0);
+        assert!((fl[0]).abs() < 1e-12);
+        assert!((fl[1] - 1.0).abs() < 1e-12, "task 1 has one unit of slack");
+        assert!((fl[2]).abs() < 1e-12);
+        assert!((fl[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latest_start_respects_horizon() {
+        let g = diamond();
+        let lst = latest_start(&g, g.weights(), 10.0);
+        // Sink: 10 - 4 = 6; task2: 6 - 3 = 3; task1: 6 - 2 = 4; source: 3-1=2.
+        assert_eq!(lst, vec![2.0, 4.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn chain_critical_path_is_everything() {
+        let g = generators::chain(&[2.0, 3.0, 4.0]);
+        assert_eq!(critical_path_length(&g, g.weights()), 9.0);
+        assert_eq!(critical_path(&g, g.weights()), vec![0, 1, 2]);
+        assert_eq!(width_proxy(&g), 1);
+    }
+
+    #[test]
+    fn levels_layered() {
+        let g = diamond();
+        assert_eq!(levels(&g), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcut() {
+        let mut g = diamond();
+        g.add_edge(0, 3).unwrap(); // shortcut
+        let kept = transitive_reduction(&g);
+        assert_eq!(kept.len(), 4);
+        assert!(!kept.contains(&(0, 3)));
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_needed_edges() {
+        let g = diamond();
+        let kept = transitive_reduction(&g);
+        assert_eq!(kept.len(), g.edge_count());
+    }
+
+    #[test]
+    fn width_of_fork() {
+        let g = generators::fork(1.0, &[1.0; 5]);
+        assert_eq!(width_proxy(&g), 5);
+    }
+}

@@ -1,0 +1,435 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates its algorithms on structured graphs (chains, forks,
+//! trees, series-parallel graphs) and on "wide classes of problem
+//! instances". This module provides deterministic constructors for the
+//! structured families plus seeded random generators for the instance
+//! sweeps, and three application-shaped workflows (stencil wavefront, FFT
+//! butterfly, Gaussian elimination) to ground the examples in recognisable
+//! HPC kernels.
+
+use crate::graph::{Dag, TaskId};
+use crate::sp::SpTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Linear chain `T_0 → T_1 → … → T_{n−1}` with the given weights.
+pub fn chain(weights: &[f64]) -> Dag {
+    let mut g = Dag::new();
+    let mut prev: Option<TaskId> = None;
+    for &w in weights {
+        let t = g.add_task(w).expect("chain weight");
+        if let Some(p) = prev {
+            g.add_edge(p, t).expect("chain edge");
+        }
+        prev = Some(t);
+    }
+    g
+}
+
+/// Fork graph: source `T_0` followed by `n` independent tasks.
+///
+/// This is the graph of the paper's fork theorem (Section III): task 0 has
+/// weight `source_weight`, tasks `1..=n` have the given weights and all
+/// depend only on the source.
+pub fn fork(source_weight: f64, branch_weights: &[f64]) -> Dag {
+    let mut g = Dag::new();
+    let src = g.add_task(source_weight).expect("source weight");
+    for &w in branch_weights {
+        let t = g.add_task(w).expect("branch weight");
+        g.add_edge(src, t).expect("fork edge");
+    }
+    g
+}
+
+/// Join graph: `n` independent tasks followed by a sink.
+pub fn join(branch_weights: &[f64], sink_weight: f64) -> Dag {
+    let mut g = Dag::new();
+    let branches: Vec<TaskId> = branch_weights
+        .iter()
+        .map(|&w| g.add_task(w).expect("branch weight"))
+        .collect();
+    let sink = g.add_task(sink_weight).expect("sink weight");
+    for b in branches {
+        g.add_edge(b, sink).expect("join edge");
+    }
+    g
+}
+
+/// Fork-join: source, `n` parallel branches (each a chain of
+/// `branch_len` tasks), sink.
+pub fn fork_join(source_weight: f64, branches: &[Vec<f64>], sink_weight: f64) -> Dag {
+    let mut g = Dag::new();
+    let src = g.add_task(source_weight).expect("source");
+    let sink_pred: Vec<TaskId> = branches
+        .iter()
+        .map(|chain_w| {
+            let mut prev = src;
+            for &w in chain_w {
+                let t = g.add_task(w).expect("branch task");
+                g.add_edge(prev, t).expect("branch edge");
+                prev = t;
+            }
+            prev
+        })
+        .collect();
+    let sink = g.add_task(sink_weight).expect("sink");
+    for p in sink_pred {
+        g.add_edge(p, sink).expect("sink edge");
+    }
+    g
+}
+
+/// Complete out-tree of the given depth and branching factor; weights are
+/// all `weight`. Node count is `(b^{depth+1} − 1)/(b − 1)` for `b > 1`.
+pub fn out_tree(branching: usize, depth: usize, weight: f64) -> Dag {
+    assert!(branching >= 1);
+    let mut g = Dag::new();
+    let root = g.add_task(weight).expect("root");
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * branching);
+        for &parent in &frontier {
+            for _ in 0..branching {
+                let c = g.add_task(weight).expect("child");
+                g.add_edge(parent, c).expect("tree edge");
+                next.push(c);
+            }
+        }
+        frontier = next;
+    }
+    g
+}
+
+/// Complete in-tree (reduction tree): the mirror image of [`out_tree`].
+pub fn in_tree(branching: usize, depth: usize, weight: f64) -> Dag {
+    let out = out_tree(branching, depth, weight);
+    // Reverse every edge.
+    let weights = out.weights().to_vec();
+    let edges: Vec<(TaskId, TaskId)> = out.edges().iter().map(|&(s, d)| (d, s)).collect();
+    Dag::from_parts(weights, edges).expect("mirrored tree is acyclic")
+}
+
+/// Seeded random weights uniform in `[lo, hi)`.
+pub fn random_weights(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo, "weights must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// Layered random DAG: `layers` layers of `width` tasks; each task draws
+/// edges from the previous layer with probability `p_edge` (at least one is
+/// forced so the layer structure is real). Weights uniform in `[w_lo, w_hi)`.
+pub fn random_layered(
+    layers: usize,
+    width: usize,
+    p_edge: f64,
+    w_lo: f64,
+    w_hi: f64,
+    seed: u64,
+) -> Dag {
+    assert!(layers >= 1 && width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::new();
+    let mut prev_layer: Vec<TaskId> = Vec::new();
+    for layer in 0..layers {
+        let mut cur = Vec::with_capacity(width);
+        for _ in 0..width {
+            let t = g.add_task(rng.random_range(w_lo..w_hi)).expect("weight");
+            if layer > 0 {
+                let mut linked = false;
+                for &p in &prev_layer {
+                    if rng.random_bool(p_edge) {
+                        g.add_edge(p, t).expect("layer edge");
+                        linked = true;
+                    }
+                }
+                if !linked {
+                    let p = prev_layer[rng.random_range(0..prev_layer.len())];
+                    g.add_edge(p, t).expect("forced layer edge");
+                }
+            }
+            cur.push(t);
+        }
+        prev_layer = cur;
+    }
+    g
+}
+
+/// Erdős–Rényi-style random DAG: `n` tasks; for every ordered pair `i < j`
+/// an edge with probability `p`. Dense and unstructured — the stress case
+/// for the general-DAG solvers.
+pub fn erdos_dag(n: usize, p: f64, w_lo: f64, w_hi: f64, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::new();
+    for _ in 0..n {
+        g.add_task(rng.random_range(w_lo..w_hi)).expect("weight");
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p) {
+                g.add_edge(i, j).expect("i<j keeps it acyclic");
+            }
+        }
+    }
+    g
+}
+
+/// Random series-parallel decomposition tree over `n` tasks.
+///
+/// Recursively splits the task budget: a budget of 1 becomes a leaf; larger
+/// budgets become a series or parallel composition of 2–4 random sub-trees.
+/// Returned alongside its DAG rendering via [`SpTree::to_dag`].
+pub fn random_sp_tree(n: usize, w_lo: f64, w_hi: f64, seed: u64) -> SpTree {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_weight = {
+        let mut inner = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        move || inner.random_range(w_lo..w_hi)
+    };
+    build_sp(n, &mut rng, &mut next_weight, true)
+}
+
+fn build_sp(
+    n: usize,
+    rng: &mut StdRng,
+    next_weight: &mut impl FnMut() -> f64,
+    allow_parallel: bool,
+) -> SpTree {
+    if n == 1 {
+        return SpTree::leaf(next_weight());
+    }
+    let k = rng.random_range(2..=4usize.min(n));
+    // Partition n into k positive parts.
+    let mut parts = vec![1usize; k];
+    for _ in 0..(n - k) {
+        parts[rng.random_range(0..k)] += 1;
+    }
+    let series = !allow_parallel || rng.random_bool(0.5);
+    let children: Vec<SpTree> = parts
+        .into_iter()
+        .map(|m| build_sp(m, rng, next_weight, series))
+        .collect();
+    if series {
+        SpTree::series(children)
+    } else {
+        SpTree::parallel(children)
+    }
+}
+
+/// 2-D stencil wavefront DAG (`rows × cols` tiles): tile `(i,j)` depends on
+/// `(i−1,j)` and `(i,j−1)`. The classic dynamic-programming/wavefront
+/// dependence pattern (e.g. Smith-Waterman, LU panels).
+pub fn stencil_wavefront(rows: usize, cols: usize, weight: f64) -> Dag {
+    assert!(rows >= 1 && cols >= 1);
+    let mut g = Dag::new();
+    let id = |i: usize, j: usize| i * cols + j;
+    for _ in 0..rows * cols {
+        g.add_task(weight).expect("tile");
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            if i + 1 < rows {
+                g.add_edge(id(i, j), id(i + 1, j)).expect("down edge");
+            }
+            if j + 1 < cols {
+                g.add_edge(id(i, j), id(i, j + 1)).expect("right edge");
+            }
+        }
+    }
+    g
+}
+
+/// FFT butterfly DAG over `2^log_n` inputs: `log_n` stages of `2^log_n`
+/// tasks; stage `s` task `i` depends on stage `s−1` tasks `i` and
+/// `i XOR 2^{s−1}`.
+pub fn fft_butterfly(log_n: usize, weight: f64) -> Dag {
+    let n = 1usize << log_n;
+    let mut g = Dag::new();
+    let id = |stage: usize, i: usize| stage * n + i;
+    for _ in 0..(log_n + 1) * n {
+        g.add_task(weight).expect("butterfly task");
+    }
+    for s in 1..=log_n {
+        let half = 1usize << (s - 1);
+        for i in 0..n {
+            g.add_edge(id(s - 1, i), id(s, i)).expect("straight edge");
+            g.add_edge(id(s - 1, i ^ half), id(s, i)).expect("cross edge");
+        }
+    }
+    g
+}
+
+/// Gaussian-elimination task DAG on a `b × b` tile grid: the triangular
+/// dependence pattern of right-looking LU without pivoting. Task count is
+/// `b(b+1)(2b+1)/6`-ish; we use the standard kernel set
+/// (getrf / trsm row & col / gemm update).
+pub fn gaussian_elimination(b: usize, weight: f64) -> Dag {
+    assert!(b >= 1);
+    let mut g = Dag::new();
+    // tasks indexed by (k, i, j): the update of tile (i,j) at step k, where
+    // i = j = k is the factorisation, i = k xor j = k are the solves.
+    let mut ids = std::collections::HashMap::new();
+    for k in 0..b {
+        for i in k..b {
+            for j in k..b {
+                if i == k || j == k || (i > k && j > k) {
+                    let t = g.add_task(weight).expect("kernel");
+                    ids.insert((k, i, j), t);
+                }
+            }
+        }
+    }
+    for k in 0..b {
+        let fac = ids[&(k, k, k)];
+        for i in (k + 1)..b {
+            g.add_edge(fac, ids[&(k, i, k)]).expect("panel dep");
+            g.add_edge(fac, ids[&(k, k, i)]).expect("row dep");
+        }
+        for i in (k + 1)..b {
+            for j in (k + 1)..b {
+                let upd = ids[&(k, i, j)];
+                g.add_edge(ids[&(k, i, k)], upd).expect("gemm dep col");
+                g.add_edge(ids[&(k, k, j)], upd).expect("gemm dep row");
+                // next step reads the updated tile
+                let nxt = ids[&(k + 1, i, j)];
+                let _ = g.add_edge(upd, nxt);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(&[1.0, 2.0, 3.0]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn fork_shape() {
+        let g = fork(2.0, &[1.0, 1.0, 1.0]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.successors(0).len(), 3);
+        assert_eq!(g.sinks().len(), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn join_shape() {
+        let g = join(&[1.0, 1.0], 3.0);
+        assert_eq!(g.sources().len(), 2);
+        assert_eq!(g.sinks(), vec![2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(1.0, &[vec![1.0, 1.0], vec![2.0]], 1.0);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![4]);
+        assert_eq!(analysis::critical_path_length(&g, g.weights()), 4.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn out_tree_counts() {
+        let g = out_tree(2, 3, 1.0);
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 8);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn in_tree_counts() {
+        let g = in_tree(2, 3, 1.0);
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.sources().len(), 8);
+        assert_eq!(g.sinks().len(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn random_layered_is_layered() {
+        let g = random_layered(5, 4, 0.4, 1.0, 2.0, 42);
+        assert_eq!(g.len(), 20);
+        g.validate().unwrap();
+        let lv = analysis::levels(&g);
+        // every non-source has level exactly one more than some predecessor
+        for t in 0..g.len() {
+            if !g.predecessors(t).is_empty() {
+                assert!(g.predecessors(t).iter().any(|&p| lv[p] + 1 == lv[t]));
+            }
+        }
+    }
+
+    #[test]
+    fn random_layered_deterministic() {
+        let a = random_layered(4, 3, 0.5, 1.0, 2.0, 7);
+        let b = random_layered(4, 3, 0.5, 1.0, 2.0, 7);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn erdos_dag_valid() {
+        let g = erdos_dag(30, 0.2, 0.5, 5.0, 3);
+        assert_eq!(g.len(), 30);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn random_sp_tree_counts_tasks() {
+        for n in [1usize, 2, 5, 17, 60] {
+            let t = random_sp_tree(n, 1.0, 2.0, 11);
+            assert_eq!(t.task_count(), n, "n={n}");
+            let dag = t.to_dag();
+            dag.validate().unwrap();
+            assert_eq!(dag.len(), n);
+        }
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let g = stencil_wavefront(3, 4, 1.0);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![11]);
+        // critical path = rows + cols - 1 tiles
+        assert_eq!(analysis::critical_path_length(&g, g.weights()), 6.0);
+    }
+
+    #[test]
+    fn fft_shape() {
+        let g = fft_butterfly(3, 1.0);
+        assert_eq!(g.len(), 4 * 8);
+        g.validate().unwrap();
+        assert_eq!(analysis::critical_path_length(&g, g.weights()), 4.0);
+        assert_eq!(analysis::width_proxy(&g), 8);
+    }
+
+    #[test]
+    fn gaussian_elimination_valid() {
+        let g = gaussian_elimination(4, 1.0);
+        g.validate().unwrap();
+        assert!(g.len() > 20);
+        assert_eq!(g.sources(), vec![0]); // first getrf dominates
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        let ws = random_weights(100, 0.5, 2.5, 9);
+        assert!(ws.iter().all(|&w| (0.5..2.5).contains(&w)));
+    }
+}

@@ -1,0 +1,427 @@
+//! Node-weighted directed acyclic task graphs.
+//!
+//! A [`Dag`] stores tasks (nodes) with a positive computation weight `w_i`
+//! and precedence edges `T_i → T_j` meaning `T_j` may only start once `T_i`
+//! has completed. The structure is append-only: tasks and edges can be added
+//! but not removed, which keeps `TaskId`s stable and makes the type cheap to
+//! share across solver layers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Index of a task inside a [`Dag`]. Stable for the lifetime of the graph.
+pub type TaskId = usize;
+
+/// Index of an edge inside a [`Dag`], in insertion order.
+pub type EdgeId = usize;
+
+/// Errors produced when building or validating a [`Dag`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagError {
+    /// An edge endpoint refers to a task that does not exist.
+    UnknownTask(TaskId),
+    /// Adding the edge would create a cycle.
+    WouldCycle { src: TaskId, dst: TaskId },
+    /// Self-loops are never allowed in a DAG.
+    SelfLoop(TaskId),
+    /// A task weight must be strictly positive and finite.
+    InvalidWeight { task: TaskId, weight: f64 },
+    /// Duplicate edge between the same ordered pair of tasks.
+    DuplicateEdge { src: TaskId, dst: TaskId },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownTask(t) => write!(f, "unknown task id {t}"),
+            DagError::WouldCycle { src, dst } => {
+                write!(f, "edge {src} -> {dst} would create a cycle")
+            }
+            DagError::SelfLoop(t) => write!(f, "self loop on task {t}"),
+            DagError::InvalidWeight { task, weight } => {
+                write!(f, "task {task} has invalid weight {weight}")
+            }
+            DagError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A node-weighted DAG of tasks.
+///
+/// Invariants maintained by construction:
+/// * weights are strictly positive finite floats,
+/// * the edge relation is acyclic and contains no duplicates or self-loops.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dag {
+    weights: Vec<f64>,
+    /// `succs[i]` = tasks that directly depend on `i`.
+    succs: Vec<Vec<TaskId>>,
+    /// `preds[i]` = direct prerequisites of `i`.
+    preds: Vec<Vec<TaskId>>,
+    /// Edge list in insertion order, as `(src, dst)` pairs.
+    edges: Vec<(TaskId, TaskId)>,
+}
+
+impl Dag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a DAG with `n` tasks of the given uniform weight and no edges.
+    pub fn with_uniform_weights(n: usize, weight: f64) -> Self {
+        let mut g = Self::new();
+        for _ in 0..n {
+            g.add_task(weight).expect("uniform weight must be valid");
+        }
+        g
+    }
+
+    /// Creates a DAG from a weight vector and an edge list.
+    pub fn from_parts(
+        weights: Vec<f64>,
+        edges: impl IntoIterator<Item = (TaskId, TaskId)>,
+    ) -> Result<Self, DagError> {
+        let mut g = Self::new();
+        for w in weights {
+            g.add_task(w)?;
+        }
+        for (s, d) in edges {
+            g.add_edge(s, d)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds a task with computation weight `w` and returns its id.
+    pub fn add_task(&mut self, w: f64) -> Result<TaskId, DagError> {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(DagError::InvalidWeight {
+                task: self.weights.len(),
+                weight: w,
+            });
+        }
+        let id = self.weights.len();
+        self.weights.push(w);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Adds a precedence edge `src → dst`.
+    ///
+    /// Rejects unknown endpoints, self-loops, duplicates, and edges that
+    /// would close a cycle (checked with a reverse reachability walk).
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId) -> Result<EdgeId, DagError> {
+        let n = self.len();
+        if src >= n {
+            return Err(DagError::UnknownTask(src));
+        }
+        if dst >= n {
+            return Err(DagError::UnknownTask(dst));
+        }
+        if src == dst {
+            return Err(DagError::SelfLoop(src));
+        }
+        if self.succs[src].contains(&dst) {
+            return Err(DagError::DuplicateEdge { src, dst });
+        }
+        if self.reaches(dst, src) {
+            return Err(DagError::WouldCycle { src, dst });
+        }
+        self.succs[src].push(dst);
+        self.preds[dst].push(src);
+        self.edges.push((src, dst));
+        Ok(self.edges.len() - 1)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if the graph holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Number of precedence edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Weight `w_i` of a task.
+    pub fn weight(&self, t: TaskId) -> f64 {
+        self.weights[t]
+    }
+
+    /// All task weights, indexed by [`TaskId`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Overwrites the weight of a task (used by workload perturbation).
+    pub fn set_weight(&mut self, t: TaskId, w: f64) -> Result<(), DagError> {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(DagError::InvalidWeight { task: t, weight: w });
+        }
+        if t >= self.len() {
+            return Err(DagError::UnknownTask(t));
+        }
+        self.weights[t] = w;
+        Ok(())
+    }
+
+    /// Sum of all task weights (the sequential work of the application).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Direct successors of `t`.
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        &self.succs[t]
+    }
+
+    /// Direct predecessors of `t`.
+    pub fn predecessors(&self, t: TaskId) -> &[TaskId] {
+        &self.preds[t]
+    }
+
+    /// Edge list in insertion order.
+    pub fn edges(&self) -> &[(TaskId, TaskId)] {
+        &self.edges
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> Vec<TaskId> {
+        (0..self.len()).filter(|&t| self.preds[t].is_empty()).collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        (0..self.len()).filter(|&t| self.succs[t].is_empty()).collect()
+    }
+
+    /// True if `to` is reachable from `from` by following edges forward.
+    pub fn reaches(&self, from: TaskId, to: TaskId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(v) = stack.pop() {
+            for &s in &self.succs[v] {
+                if s == to {
+                    return true;
+                }
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological order of the tasks (Kahn's algorithm).
+    ///
+    /// The construction API guarantees acyclicity, so this never fails.
+    pub fn topological_order(&self) -> Vec<TaskId> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|t| self.preds[t].len()).collect();
+        let mut queue: Vec<TaskId> = (0..n).filter(|&t| indeg[t] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for &s in &self.succs[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "construction guarantees acyclicity");
+        order
+    }
+
+    /// Merges another DAG into this one, returning the id offset applied to
+    /// the tasks of `other`.
+    pub fn append(&mut self, other: &Dag) -> TaskId {
+        let offset = self.len();
+        for &w in &other.weights {
+            self.add_task(w).expect("weights of a valid Dag are valid");
+        }
+        for &(s, d) in &other.edges {
+            self.add_edge(s + offset, d + offset)
+                .expect("edges of a valid Dag stay acyclic after offset");
+        }
+        offset
+    }
+
+    /// Renders the DAG in Graphviz DOT format (weights as labels).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph dag {\n  rankdir=LR;\n");
+        for t in 0..self.len() {
+            let _ = writeln!(out, "  t{} [label=\"T{} (w={:.3})\"];", t, t, self.weights[t]);
+        }
+        for &(s, d) in &self.edges {
+            let _ = writeln!(out, "  t{s} -> t{d};");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Checks structural invariants; used by tests and after deserialization.
+    pub fn validate(&self) -> Result<(), DagError> {
+        let n = self.len();
+        if self.succs.len() != n || self.preds.len() != n {
+            return Err(DagError::UnknownTask(n));
+        }
+        for (t, &w) in self.weights.iter().enumerate() {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(DagError::InvalidWeight { task: t, weight: w });
+            }
+        }
+        let mut seen = HashSet::new();
+        for &(s, d) in &self.edges {
+            if s >= n {
+                return Err(DagError::UnknownTask(s));
+            }
+            if d >= n {
+                return Err(DagError::UnknownTask(d));
+            }
+            if s == d {
+                return Err(DagError::SelfLoop(s));
+            }
+            if !seen.insert((s, d)) {
+                return Err(DagError::DuplicateEdge { src: s, dst: d });
+            }
+        }
+        if self.topological_order().len() != n {
+            // Unreachable through the public API; defends against hand-built
+            // serialized payloads.
+            let &(s, d) = self.edges.last().expect("cycle implies an edge");
+            return Err(DagError::WouldCycle { src: s, dst: d });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> {1,2} -> 3
+        Dag::from_parts(vec![1.0, 2.0, 3.0, 4.0], [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.weight(2), 3.0);
+        assert_eq!(g.total_weight(), 10.0);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.predecessors(3), &[1, 2]);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut g = Dag::new();
+        assert!(matches!(g.add_task(0.0), Err(DagError::InvalidWeight { .. })));
+        assert!(matches!(g.add_task(-1.0), Err(DagError::InvalidWeight { .. })));
+        assert!(matches!(g.add_task(f64::NAN), Err(DagError::InvalidWeight { .. })));
+        assert!(matches!(g.add_task(f64::INFINITY), Err(DagError::InvalidWeight { .. })));
+        assert!(g.add_task(1e-9).is_ok());
+    }
+
+    #[test]
+    fn rejects_cycles_self_loops_duplicates() {
+        let mut g = Dag::with_uniform_weights(3, 1.0);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        assert_eq!(g.add_edge(2, 0), Err(DagError::WouldCycle { src: 2, dst: 0 }));
+        assert_eq!(g.add_edge(1, 1), Err(DagError::SelfLoop(1)));
+        assert_eq!(g.add_edge(0, 1), Err(DagError::DuplicateEdge { src: 0, dst: 1 }));
+        assert_eq!(g.add_edge(0, 7), Err(DagError::UnknownTask(7)));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let order = g.topological_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, &t) in order.iter().enumerate() {
+                p[t] = i;
+            }
+            p
+        };
+        for &(s, d) in g.edges() {
+            assert!(pos[s] < pos[d], "edge {s}->{d} out of order");
+        }
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert!(g.reaches(0, 3));
+        assert!(g.reaches(1, 3));
+        assert!(!g.reaches(1, 2));
+        assert!(g.reaches(2, 2));
+    }
+
+    #[test]
+    fn append_offsets_ids() {
+        let mut g = diamond();
+        let other = Dag::from_parts(vec![5.0, 6.0], [(0, 1)]).unwrap();
+        let off = g.append(&other);
+        assert_eq!(off, 4);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.weight(4), 5.0);
+        assert_eq!(g.successors(4), &[5]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn dot_output_mentions_all_tasks() {
+        let g = diamond();
+        let dot = g.to_dot();
+        for t in 0..4 {
+            assert!(dot.contains(&format!("t{t} ")));
+        }
+        assert!(dot.contains("t0 -> t1"));
+    }
+
+    #[test]
+    fn set_weight_updates_and_validates() {
+        let mut g = diamond();
+        g.set_weight(0, 9.0).unwrap();
+        assert_eq!(g.weight(0), 9.0);
+        assert!(g.set_weight(0, -3.0).is_err());
+        assert!(g.set_weight(99, 1.0).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # ea-taskgraph
+//!
+//! Weighted directed acyclic task graphs (DAGs) and the graph machinery used
+//! by the energy-aware scheduling library:
+//!
+//! * [`Dag`] — a node-weighted DAG of tasks `T_1..T_n`, where the weight
+//!   `w_i` of a task is its computation requirement (executing `T_i` at speed
+//!   `f` takes `w_i / f` time units and consumes `w_i · f²` energy units).
+//! * [`generators`] — synthetic workloads: chains, forks, joins, fork-joins,
+//!   trees, layered random DAGs, Erdős–Rényi DAGs, series-parallel graphs and
+//!   a few application-shaped workflows (stencil wavefronts, FFT butterflies,
+//!   Gaussian-elimination DAGs).
+//! * [`analysis`] — topological orders, longest paths / critical paths,
+//!   earliest/latest start times, slack (float) computation and transitive
+//!   reduction.
+//! * [`sp`] — series-parallel recognition by series/parallel reductions,
+//!   producing an explicit decomposition tree ([`sp::SpTree`]). The
+//!   closed-form optimal-speed algebra of the paper operates on this tree.
+//!
+//! The crate is deliberately free of any scheduling policy: it only models
+//! the *application* side of the problem (the DAG `G = (V, E)` of the paper,
+//! Section II).
+
+pub mod analysis;
+pub mod generators;
+pub mod graph;
+pub mod sp;
+
+pub use graph::{Dag, DagError, EdgeId, TaskId};
+pub use sp::{SpTree, SpError};

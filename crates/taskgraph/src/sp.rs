@@ -1,0 +1,473 @@
+//! Series-parallel (SP) decomposition trees and SP recognition.
+//!
+//! The paper's CONTINUOUS BI-CRIT closed forms exist exactly for graph
+//! families admitting a series-parallel decomposition (chains, forks, joins,
+//! trees, series-parallel graphs). This module provides:
+//!
+//! * [`SpTree`] — an explicit decomposition: a leaf is a task, a series node
+//!   executes children one after the other, a parallel node executes them
+//!   concurrently.
+//! * [`SpTree::to_dag`] — renders the tree as a node-weighted [`Dag`]
+//!   (parallel branches joined all-to-all at series boundaries).
+//! * [`SpTree::from_dag`] — recognition by classic series/parallel edge
+//!   reductions on the two-terminal split graph: each task node becomes a
+//!   labelled edge `v_in → v_out`; precedence edges become neutral edges.
+//!   The DAG is (node-)series-parallel iff the multigraph reduces to a
+//!   single source→sink edge, whose label is the decomposition tree.
+//!
+//! The *equivalent weight* algebra used by the closed forms lives here too:
+//! `W(leaf w) = w`, `W(series) = Σ W_k`, `W(parallel) = (Σ W_k³)^{1/3}`.
+//! The optimal BI-CRIT energy on an SP graph with deadline `D` is then
+//! `W³ / D²` (see `ea-core::bicrit::continuous`).
+
+use crate::graph::{Dag, DagError, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from SP recognition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpError {
+    /// The DAG is not series-parallel: reductions got stuck.
+    NotSeriesParallel,
+    /// The DAG is empty.
+    Empty,
+}
+
+impl fmt::Display for SpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpError::NotSeriesParallel => write!(f, "graph is not series-parallel"),
+            SpError::Empty => write!(f, "empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for SpError {}
+
+/// A series-parallel decomposition tree over weighted tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpTree {
+    /// A single task. `task` is the id in the originating [`Dag`] when the
+    /// tree was produced by [`SpTree::from_dag`]; generator-built trees
+    /// leave it `None` and [`SpTree::to_dag`] assigns DFS-order ids.
+    Leaf { weight: f64, task: Option<TaskId> },
+    /// Children executed one after another.
+    Series(Vec<SpTree>),
+    /// Children executed concurrently.
+    Parallel(Vec<SpTree>),
+}
+
+impl SpTree {
+    /// Leaf constructor.
+    pub fn leaf(weight: f64) -> Self {
+        SpTree::Leaf { weight, task: None }
+    }
+
+    /// Leaf bound to an existing task id.
+    pub fn leaf_for(task: TaskId, weight: f64) -> Self {
+        SpTree::Leaf { weight, task: Some(task) }
+    }
+
+    /// Series constructor; flattens nested series and drops empty children.
+    pub fn series(children: Vec<SpTree>) -> Self {
+        let mut flat = Vec::with_capacity(children.len());
+        for c in children {
+            match c {
+                SpTree::Series(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("len checked")
+        } else {
+            SpTree::Series(flat)
+        }
+    }
+
+    /// Parallel constructor; flattens nested parallels.
+    pub fn parallel(children: Vec<SpTree>) -> Self {
+        let mut flat = Vec::with_capacity(children.len());
+        for c in children {
+            match c {
+                SpTree::Parallel(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("len checked")
+        } else {
+            SpTree::Parallel(flat)
+        }
+    }
+
+    /// Number of tasks (leaves).
+    pub fn task_count(&self) -> usize {
+        match self {
+            SpTree::Leaf { .. } => 1,
+            SpTree::Series(c) | SpTree::Parallel(c) => c.iter().map(SpTree::task_count).sum(),
+        }
+    }
+
+    /// The paper's equivalent-weight algebra:
+    /// `W(leaf) = w`, `W(series) = Σ W`, `W(parallel) = (Σ W³)^{1/3}`.
+    ///
+    /// The optimal CONTINUOUS BI-CRIT energy with deadline `D` (one task per
+    /// processor in each parallel branch, no `f_max` cap) is `W³ / D²`; for
+    /// the fork this specialises to the paper's
+    /// `E_fork = ((Σ w_i³)^{1/3} + w_0)³ / D²`.
+    pub fn equivalent_weight(&self) -> f64 {
+        match self {
+            SpTree::Leaf { weight, .. } => *weight,
+            SpTree::Series(c) => c.iter().map(SpTree::equivalent_weight).sum(),
+            SpTree::Parallel(c) => c
+                .iter()
+                .map(|t| t.equivalent_weight().powi(3))
+                .sum::<f64>()
+                .cbrt(),
+        }
+    }
+
+    /// Leaves in DFS (left-to-right) order as `(bound task id, weight)`.
+    pub fn leaves(&self) -> Vec<(Option<TaskId>, f64)> {
+        let mut out = Vec::with_capacity(self.task_count());
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<(Option<TaskId>, f64)>) {
+        match self {
+            SpTree::Leaf { weight, task } => out.push((*task, *weight)),
+            SpTree::Series(c) | SpTree::Parallel(c) => {
+                for t in c {
+                    t.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    /// Effective task id per leaf (DFS order): the bound id when present,
+    /// otherwise the DFS index — the ids [`SpTree::to_dag`] assigns.
+    pub fn effective_ids(&self) -> Vec<TaskId> {
+        self.leaves()
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| t.unwrap_or(i))
+            .collect()
+    }
+
+    /// Renders the decomposition as a node-weighted [`Dag`]. Leaf `k` in
+    /// DFS order becomes task `k`; series boundaries join all sinks of the
+    /// left part to all sources of the right part.
+    pub fn to_dag(&self) -> Dag {
+        let mut g = Dag::new();
+        self.render(&mut g).expect("SP rendering is acyclic by construction");
+        g
+    }
+
+    /// Renders into `g`, returning (sources, sinks) of the rendered subgraph.
+    fn render(&self, g: &mut Dag) -> Result<(Vec<TaskId>, Vec<TaskId>), DagError> {
+        match self {
+            SpTree::Leaf { weight, .. } => {
+                let t = g.add_task(*weight)?;
+                Ok((vec![t], vec![t]))
+            }
+            SpTree::Series(children) => {
+                let mut first_sources: Option<Vec<TaskId>> = None;
+                let mut prev_sinks: Vec<TaskId> = Vec::new();
+                for c in children {
+                    let (srcs, sinks) = c.render(g)?;
+                    for &p in &prev_sinks {
+                        for &s in &srcs {
+                            g.add_edge(p, s)?;
+                        }
+                    }
+                    if first_sources.is_none() {
+                        first_sources = Some(srcs);
+                    }
+                    prev_sinks = sinks;
+                }
+                Ok((first_sources.unwrap_or_default(), prev_sinks))
+            }
+            SpTree::Parallel(children) => {
+                let mut sources = Vec::new();
+                let mut sinks = Vec::new();
+                for c in children {
+                    let (srcs, snks) = c.render(g)?;
+                    sources.extend(srcs);
+                    sinks.extend(snks);
+                }
+                Ok((sources, sinks))
+            }
+        }
+    }
+
+    /// Recognises a series-parallel DAG and recovers a decomposition tree
+    /// whose leaves are bound to the DAG's task ids.
+    ///
+    /// The class recognised is the class of **series-parallel partial
+    /// orders** (N-free posets): the decomposition is computed on the
+    /// *transitive closure* of the DAG, so redundant (transitive) edges do
+    /// not affect the result. Recursively:
+    ///
+    /// 1. if the comparability graph of the task set is disconnected, the
+    ///    components compose in **parallel**;
+    /// 2. otherwise, if the set splits into blocks `B_1, …, B_k` such that
+    ///    every task of `B_i` precedes every task of `B_j` for `i < j`, the
+    ///    blocks compose in **series**;
+    /// 3. otherwise the DAG contains an induced "N" and is not SP.
+    ///
+    /// Complexity is `O(n²)` per recursion level on closure bitmatrices —
+    /// comfortably fast for the instance sizes of the paper's experiments.
+    pub fn from_dag(dag: &Dag) -> Result<SpTree, SpError> {
+        if dag.is_empty() {
+            return Err(SpError::Empty);
+        }
+        let n = dag.len();
+        // Transitive closure: closure[u][v] = true iff u strictly precedes v.
+        let mut closure = vec![vec![false; n]; n];
+        let order = dag.topological_order();
+        for &t in order.iter().rev() {
+            for &s in dag.successors(t) {
+                closure[t][s] = true;
+                // Split borrow: copy successor's row into t's row.
+                let (a, b) = if t < s {
+                    let (lo, hi) = closure.split_at_mut(s);
+                    (&mut lo[t], &hi[0])
+                } else {
+                    let (lo, hi) = closure.split_at_mut(t);
+                    (&mut hi[0], &lo[s])
+                };
+                for v in 0..n {
+                    a[v] |= b[v];
+                }
+            }
+        }
+        let topo_pos = {
+            let mut p = vec![0usize; n];
+            for (i, &t) in order.iter().enumerate() {
+                p[t] = i;
+            }
+            p
+        };
+        let mut set: Vec<TaskId> = (0..n).collect();
+        set.sort_by_key(|&t| topo_pos[t]);
+        decompose(dag, &closure, set)
+    }
+}
+
+/// Recursive SP-order decomposition; `set` arrives in topological order.
+fn decompose(dag: &Dag, closure: &[Vec<bool>], set: Vec<TaskId>) -> Result<SpTree, SpError> {
+    if set.len() == 1 {
+        let t = set[0];
+        return Ok(SpTree::leaf_for(t, dag.weight(t)));
+    }
+
+    // 1. Parallel split: connected components of the comparability graph
+    //    (u ~ v iff u precedes v or v precedes u in the closure).
+    let comps = comparability_components(closure, &set);
+    if comps.len() > 1 {
+        let children = comps
+            .into_iter()
+            .map(|c| decompose(dag, closure, c))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(SpTree::parallel(children));
+    }
+
+    // 2. Series split: find the earliest prefix P (in topological order)
+    //    such that every task of P precedes every task of the remainder.
+    for cut in 1..set.len() {
+        let (prefix, rest) = set.split_at(cut);
+        let total = prefix.iter().all(|&u| rest.iter().all(|&v| closure[u][v]));
+        if total {
+            let left = decompose(dag, closure, prefix.to_vec())?;
+            let right = decompose(dag, closure, rest.to_vec())?;
+            // `series` flattens, so recursing on the whole remainder still
+            // yields a flat block list.
+            return Ok(SpTree::series(vec![left, right]));
+        }
+    }
+
+    // 3. Connected, not series-splittable: contains an induced N.
+    Err(SpError::NotSeriesParallel)
+}
+
+/// Connected components of the comparability relation restricted to `set`,
+/// each returned in the same (topological) relative order as `set`.
+fn comparability_components(closure: &[Vec<bool>], set: &[TaskId]) -> Vec<Vec<TaskId>> {
+    let k = set.len();
+    let mut comp_id = vec![usize::MAX; k];
+    let mut n_comp = 0;
+    for start in 0..k {
+        if comp_id[start] != usize::MAX {
+            continue;
+        }
+        let id = n_comp;
+        n_comp += 1;
+        let mut stack = vec![start];
+        comp_id[start] = id;
+        while let Some(i) = stack.pop() {
+            let u = set[i];
+            for j in 0..k {
+                if comp_id[j] == usize::MAX {
+                    let v = set[j];
+                    if closure[u][v] || closure[v][u] {
+                        comp_id[j] = id;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+    }
+    let mut comps = vec![Vec::new(); n_comp];
+    for (i, &t) in set.iter().enumerate() {
+        comps[comp_id[i]].push(t);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn algebra_chain() {
+        let t = SpTree::series(vec![SpTree::leaf(1.0), SpTree::leaf(2.0), SpTree::leaf(3.0)]);
+        assert_close(t.equivalent_weight(), 6.0);
+    }
+
+    #[test]
+    fn algebra_parallel() {
+        let t = SpTree::parallel(vec![SpTree::leaf(1.0), SpTree::leaf(2.0)]);
+        assert_close(t.equivalent_weight(), 9.0f64.cbrt());
+    }
+
+    #[test]
+    fn algebra_fork_matches_paper_formula() {
+        // fork = series(w0, parallel(w_i)) ⇒ W = w0 + (Σ w_i³)^{1/3}
+        let w0 = 2.0;
+        let ws = [1.0, 3.0, 2.0];
+        let t = SpTree::series(vec![
+            SpTree::leaf(w0),
+            SpTree::parallel(ws.iter().map(|&w| SpTree::leaf(w)).collect()),
+        ]);
+        let expected = w0 + ws.iter().map(|w| w.powi(3)).sum::<f64>().cbrt();
+        assert_close(t.equivalent_weight(), expected);
+    }
+
+    #[test]
+    fn constructors_flatten() {
+        let t = SpTree::series(vec![
+            SpTree::series(vec![SpTree::leaf(1.0), SpTree::leaf(2.0)]),
+            SpTree::leaf(3.0),
+        ]);
+        match &t {
+            SpTree::Series(c) => assert_eq!(c.len(), 3),
+            _ => panic!("expected series"),
+        }
+        let p = SpTree::parallel(vec![SpTree::parallel(vec![SpTree::leaf(1.0)]), SpTree::leaf(2.0)]);
+        match &p {
+            SpTree::Parallel(c) => assert_eq!(c.len(), 2),
+            _ => panic!("expected parallel"),
+        }
+    }
+
+    #[test]
+    fn to_dag_chain() {
+        let t = SpTree::series(vec![SpTree::leaf(1.0), SpTree::leaf(2.0)]);
+        let g = t.to_dag();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn to_dag_fork_join() {
+        let t = SpTree::series(vec![
+            SpTree::leaf(1.0),
+            SpTree::parallel(vec![SpTree::leaf(2.0), SpTree::leaf(3.0)]),
+            SpTree::leaf(4.0),
+        ]);
+        let g = t.to_dag();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn recognise_chain() {
+        let g = generators::chain(&[1.0, 2.0, 3.0]);
+        let t = SpTree::from_dag(&g).unwrap();
+        assert_eq!(t.task_count(), 3);
+        assert_close(t.equivalent_weight(), 6.0);
+        // ids are bound to the original graph
+        let ids: Vec<_> = t.leaves().iter().map(|(id, _)| id.unwrap()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn recognise_fork() {
+        let g = generators::fork(2.0, &[1.0, 3.0, 2.0]);
+        let t = SpTree::from_dag(&g).unwrap();
+        let expected = 2.0 + (1.0f64 + 27.0 + 8.0).cbrt();
+        assert_close(t.equivalent_weight(), expected);
+    }
+
+    #[test]
+    fn recognise_join() {
+        let g = generators::join(&[1.0, 2.0], 3.0);
+        let t = SpTree::from_dag(&g).unwrap();
+        assert_close(t.equivalent_weight(), 3.0 + 9.0f64.cbrt());
+    }
+
+    #[test]
+    fn recognise_out_tree() {
+        let g = generators::out_tree(2, 2, 1.0);
+        let t = SpTree::from_dag(&g).unwrap();
+        assert_eq!(t.task_count(), 7);
+        // subtree of a leaf-pair: (1+1)^... W_child = 1 + (1³+1³)^{1/3}
+        let w_child = 1.0 + 2.0f64.cbrt();
+        let expected = 1.0 + (2.0 * w_child.powi(3)).cbrt();
+        assert_close(t.equivalent_weight(), expected);
+    }
+
+    #[test]
+    fn recognise_rejects_non_sp() {
+        // The "N" graph: a->c, a->d, b->d — the canonical non-SP pattern.
+        let g = Dag::from_parts(vec![1.0; 4], [(0, 2), (0, 3), (1, 3)]).unwrap();
+        assert_eq!(SpTree::from_dag(&g), Err(SpError::NotSeriesParallel));
+    }
+
+    #[test]
+    fn recognise_handles_transitive_edge() {
+        // diamond + shortcut 0->3 is still SP (the shortcut is a neutral
+        // parallel branch).
+        let g = Dag::from_parts(
+            vec![1.0, 2.0, 3.0, 4.0],
+            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)],
+        )
+        .unwrap();
+        let t = SpTree::from_dag(&g).unwrap();
+        assert_eq!(t.task_count(), 4);
+    }
+
+    #[test]
+    fn round_trip_random_sp() {
+        for seed in 0..10u64 {
+            let tree = generators::random_sp_tree(12, 0.5, 4.0, seed);
+            let dag = tree.to_dag();
+            let back = SpTree::from_dag(&dag).expect("rendered SP must be recognised");
+            assert_eq!(back.task_count(), 12);
+            assert_close(back.equivalent_weight(), tree.equivalent_weight());
+        }
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(SpTree::from_dag(&Dag::new()), Err(SpError::Empty));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the graph substrate: topological order, critical
+//! paths, floats, SP round-trips and the equivalent-weight algebra.
+
+use ea_taskgraph::{analysis, generators, Dag, SpTree};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Topological order puts every edge forward, on random layered DAGs.
+    #[test]
+    fn topo_order_is_topological(layers in 1usize..6, width in 1usize..5, seed in 0u64..10_000) {
+        let g = generators::random_layered(layers, width, 0.4, 0.5, 2.0, seed);
+        let order = g.topological_order();
+        let mut pos = vec![0usize; g.len()];
+        for (i, &t) in order.iter().enumerate() {
+            pos[t] = i;
+        }
+        for &(s, d) in g.edges() {
+            prop_assert!(pos[s] < pos[d]);
+        }
+    }
+
+    /// The critical path length is the max over all sink completion times
+    /// and is monotone in every duration.
+    #[test]
+    fn critical_path_monotone(seed in 0u64..10_000, bump in 0.1f64..2.0) {
+        let g = generators::random_layered(4, 3, 0.4, 0.5, 2.0, seed);
+        let base = analysis::critical_path_length(&g, g.weights());
+        let t = (seed as usize) % g.len();
+        let mut durs = g.weights().to_vec();
+        durs[t] += bump;
+        let bumped = analysis::critical_path_length(&g, &durs);
+        prop_assert!(bumped >= base - 1e-12, "bumping a duration cannot shorten the CP");
+        prop_assert!(bumped <= base + bump + 1e-12, "CP grows at most by the bump");
+    }
+
+    /// Critical tasks have zero float; every float is non-negative.
+    #[test]
+    fn floats_consistent(seed in 0u64..10_000) {
+        let g = generators::random_layered(4, 3, 0.4, 0.5, 2.0, seed);
+        let horizon = analysis::critical_path_length(&g, g.weights());
+        let fl = analysis::total_float(&g, g.weights(), horizon);
+        prop_assert!(fl.iter().all(|&f| f >= -1e-9));
+        for &t in &analysis::critical_tasks(&g, g.weights()) {
+            prop_assert!(fl[t].abs() <= 1e-6 * horizon.max(1.0));
+        }
+    }
+
+    /// The walked critical path realises the critical-path length.
+    #[test]
+    fn critical_path_walk_realises_length(seed in 0u64..10_000) {
+        let g = generators::random_layered(4, 3, 0.4, 0.5, 2.0, seed);
+        let len = analysis::critical_path_length(&g, g.weights());
+        let path = analysis::critical_path(&g, g.weights());
+        let sum: f64 = path.iter().map(|&t| g.weight(t)).sum();
+        prop_assert!((sum - len).abs() <= 1e-9 * len.max(1.0));
+        for pair in path.windows(2) {
+            prop_assert!(g.successors(pair[0]).contains(&pair[1]));
+        }
+    }
+
+    /// SP trees survive the render → recognise round trip with their
+    /// equivalent weight intact.
+    #[test]
+    fn sp_round_trip(n in 1usize..20, seed in 0u64..10_000) {
+        let tree = generators::random_sp_tree(n, 0.5, 2.5, seed);
+        let dag = tree.to_dag();
+        let back = SpTree::from_dag(&dag).expect("rendered SP is recognisable");
+        prop_assert_eq!(back.task_count(), n);
+        let (a, b) = (tree.equivalent_weight(), back.equivalent_weight());
+        prop_assert!((a - b).abs() <= 1e-9 * a.max(1.0));
+    }
+
+    /// Equivalent weight bounds: max(critical-path weight, per-branch
+    /// balance) ≤ W ≤ total weight (series is the worst case, perfect
+    /// parallelism the best).
+    #[test]
+    fn equivalent_weight_bounds(n in 1usize..20, seed in 0u64..10_000) {
+        let tree = generators::random_sp_tree(n, 0.5, 2.5, seed);
+        let dag = tree.to_dag();
+        let w = tree.equivalent_weight();
+        let cp = analysis::critical_path_length(&dag, dag.weights());
+        let total = dag.total_weight();
+        prop_assert!(w <= total * (1.0 + 1e-9), "W {} > Σw {}", w, total);
+        prop_assert!(w >= cp - 1e-9, "W {} < CP {}", w, cp);
+    }
+
+    /// Transitive reduction preserves reachability.
+    #[test]
+    fn transitive_reduction_preserves_reachability(seed in 0u64..5_000) {
+        let g = generators::erdos_dag(12, 0.3, 0.5, 2.0, seed);
+        let kept = analysis::transitive_reduction(&g);
+        let reduced = Dag::from_parts(g.weights().to_vec(), kept).expect("still a DAG");
+        for s in 0..g.len() {
+            for t in 0..g.len() {
+                prop_assert_eq!(g.reaches(s, t), reduced.reaches(s, t),
+                    "reachability {} -> {} changed", s, t);
+            }
+        }
+    }
+
+    /// Serde round trip preserves the graph.
+    #[test]
+    fn serde_round_trip(seed in 0u64..5_000) {
+        let g = generators::random_layered(3, 3, 0.5, 0.5, 2.0, seed);
+        let json = serde_json::to_string(&g).expect("serialises");
+        let back: Dag = serde_json::from_str(&json).expect("deserialises");
+        back.validate().expect("valid");
+        prop_assert_eq!(back.edges(), g.edges());
+        prop_assert_eq!(back.weights(), g.weights());
+    }
+}

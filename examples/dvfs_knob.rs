@@ -1,0 +1,39 @@
+//! The INCREMENTAL model as a "potentiometer knob": how the grid step δ
+//! and the solver accuracy K trade energy against the paper's proven
+//! approximation factor `(1 + δ/f_min)²·(1 + 1/K)²`.
+//!
+//! ```text
+//! cargo run --release --example dvfs_knob
+//! ```
+
+use energy_aware_scheduling::core::bicrit::incremental;
+use energy_aware_scheduling::prelude::*;
+use energy_aware_scheduling::taskgraph::generators;
+
+fn main() {
+    let (fmin, fmax) = (1.0f64, 2.0f64);
+    let dag = generators::stencil_wavefront(6, 6, 1.0);
+    let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(3), fmax, f64::MAX)
+        .expect("valid mapping");
+    let d = 1.7 * inst.makespan_at_uniform_speed(fmax);
+    let inst = inst.with_deadline(d).expect("positive deadline");
+
+    println!("6×6 stencil wavefront on 3 processors, deadline ×1.7\n");
+    println!(
+        "{:>8} {:>6} {:>10} {:>10} {:>8} {:>8}",
+        "δ", "K", "E_incr", "LB(cont)", "ratio", "bound"
+    );
+    for delta in [0.5, 0.25, 0.1, 0.05, 0.02] {
+        for k in [1usize, 10, 1000] {
+            let s = incremental::solve(inst.augmented_dag(), d, fmin, fmax, delta, k)
+                .expect("feasible");
+            println!(
+                "{delta:>8} {k:>6} {:>10.4} {:>10.4} {:>8.4} {:>8.4}",
+                s.energy, s.lower_bound, s.ratio, s.proven_factor
+            );
+            assert!(s.ratio <= s.proven_factor + 1e-9, "proven bound violated!");
+        }
+    }
+    println!("\nEvery measured ratio sits beneath the paper's proven factor, and");
+    println!("a fine knob (δ → 0) with a tight solve (K → ∞) approaches 1.");
+}

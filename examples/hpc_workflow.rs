@@ -1,0 +1,53 @@
+//! HPC workflow study: energy vs deadline for a tiled Gaussian-elimination
+//! DAG (the dependence pattern of right-looking LU) across speed models.
+//!
+//! This is the kind of workload the paper's introduction motivates:
+//! a legacy application with a fixed mapping, where only DVFS is available
+//! to reclaim energy.
+//!
+//! ```text
+//! cargo run --release --example hpc_workflow
+//! ```
+
+use energy_aware_scheduling::core::bicrit::{continuous, incremental, vdd};
+use energy_aware_scheduling::prelude::*;
+use energy_aware_scheduling::taskgraph::generators;
+
+fn main() {
+    let (fmin, fmax) = (1.0, 2.0);
+    let dag = generators::gaussian_elimination(5, 1.0);
+    let n = dag.len();
+    let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(4), fmax, f64::MAX)
+        .expect("valid mapping");
+    let base = inst.makespan_at_uniform_speed(fmax);
+    println!("Gaussian elimination DAG: {n} tasks on 4 processors");
+    println!("fastest makespan (all at fmax): {base:.3}\n");
+    println!(
+        "{:>8}  {:>12} {:>12} {:>12} {:>10}",
+        "D/Dmin", "E_CONTINUOUS", "E_VDD(5)", "E_INCR(δ=.1)", "saved%"
+    );
+
+    let modes = vec![1.0, 1.25, 1.5, 1.75, 2.0];
+    let all_fmax: f64 = inst.dag.weights().iter().map(|w| w * fmax * fmax).sum();
+    for mult in [1.05, 1.2, 1.5, 2.0, 3.0] {
+        let d = mult * base;
+        let inst_d = inst.with_deadline(d).expect("positive deadline");
+        let cont = continuous::solve(&inst_d, fmin, fmax, &Default::default())
+            .expect("feasible deadline");
+        let hop = vdd::solve(inst_d.augmented_dag(), d, &modes).expect("feasible");
+        let inc = incremental::solve(inst_d.augmented_dag(), d, fmin, fmax, 0.1, 50)
+            .expect("feasible");
+        println!(
+            "{:>8.2}  {:>12.3} {:>12.3} {:>12.3} {:>9.1}%",
+            mult,
+            cont.energy,
+            hop.energy,
+            inc.energy,
+            100.0 * (1.0 - cont.energy / all_fmax),
+        );
+    }
+
+    println!("\nReading: a 3× deadline reclaims most of the dynamic energy;");
+    println!("VDD-hopping tracks the continuous optimum closely; the");
+    println!("incremental grid pays its (1+δ/fmin)² rounding factor at most.");
+}

@@ -1,0 +1,232 @@
+//! `easched` — command-line driver for the energy-aware scheduling
+//! library: generate a workload, map it, solve BI-CRIT under a chosen
+//! speed model and print the schedule (optionally as JSON).
+//!
+//! ```text
+//! easched --dag chain:12 --model continuous --mult 1.6
+//! easched --dag fork:8 --model vdd --modes 1,1.5,2 --mult 1.4 --json
+//! easched --dag layered:4x3 --procs 3 --model incremental --delta 0.2
+//! easched --dag gauss:4 --model discrete --modes 1,2 --mult 1.5
+//! ```
+//!
+//! Exit code 2 signals an infeasible deadline; 1 a usage error.
+
+use energy_aware_scheduling::core::bicrit::{continuous, discrete, incremental, vdd};
+use energy_aware_scheduling::core::schedule::Schedule;
+use energy_aware_scheduling::prelude::*;
+use energy_aware_scheduling::taskgraph::{generators, Dag};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    dag: String,
+    model: String,
+    modes: Vec<f64>,
+    mult: f64,
+    procs: usize,
+    seed: u64,
+    delta: f64,
+    fmin: f64,
+    fmax: f64,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dag: "chain:10".into(),
+        model: "continuous".into(),
+        modes: vec![1.0, 1.5, 2.0],
+        mult: 1.5,
+        procs: 2,
+        seed: 42,
+        delta: 0.25,
+        fmin: 1.0,
+        fmax: 2.0,
+        json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dag" => args.dag = take(&mut i)?,
+            "--model" => args.model = take(&mut i)?.to_lowercase(),
+            "--mult" => args.mult = take(&mut i)?.parse().map_err(|e| format!("--mult: {e}"))?,
+            "--procs" => args.procs = take(&mut i)?.parse().map_err(|e| format!("--procs: {e}"))?,
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--delta" => args.delta = take(&mut i)?.parse().map_err(|e| format!("--delta: {e}"))?,
+            "--fmin" => args.fmin = take(&mut i)?.parse().map_err(|e| format!("--fmin: {e}"))?,
+            "--fmax" => args.fmax = take(&mut i)?.parse().map_err(|e| format!("--fmax: {e}"))?,
+            "--modes" => {
+                args.modes = take(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--modes: {e}"))?
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: easched [--dag chain:N|fork:N|layered:LxW|stencil:RxC|gauss:B] \
+         [--model continuous|vdd|discrete|incremental] [--modes f1,f2,..] \
+         [--mult X] [--procs P] [--seed S] [--delta D] [--fmin F] [--fmax F] [--json]"
+    );
+}
+
+fn build_dag(spec: &str, seed: u64) -> Result<Dag, String> {
+    let (kind, param) = spec.split_once(':').ok_or("dag spec needs kind:param")?;
+    let dag = match kind {
+        "chain" => {
+            let n: usize = param.parse().map_err(|e| format!("chain size: {e}"))?;
+            generators::chain(&generators::random_weights(n, 0.5, 2.5, seed))
+        }
+        "fork" => {
+            let n: usize = param.parse().map_err(|e| format!("fork size: {e}"))?;
+            generators::fork(1.5, &generators::random_weights(n, 0.5, 2.5, seed))
+        }
+        "layered" => {
+            let (l, w) = param.split_once('x').ok_or("layered needs LxW")?;
+            generators::random_layered(
+                l.parse().map_err(|e| format!("layers: {e}"))?,
+                w.parse().map_err(|e| format!("width: {e}"))?,
+                0.35,
+                0.5,
+                2.5,
+                seed,
+            )
+        }
+        "stencil" => {
+            let (r, c) = param.split_once('x').ok_or("stencil needs RxC")?;
+            generators::stencil_wavefront(
+                r.parse().map_err(|e| format!("rows: {e}"))?,
+                c.parse().map_err(|e| format!("cols: {e}"))?,
+                1.0,
+            )
+        }
+        "gauss" => generators::gaussian_elimination(
+            param.parse().map_err(|e| format!("tiles: {e}"))?,
+            1.0,
+        ),
+        other => return Err(format!("unknown dag kind {other}")),
+    };
+    Ok(dag)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::from(1);
+        }
+    };
+    let dag = match build_dag(&args.dag, args.seed) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let inst = match Instance::mapped_by_list_scheduling(
+        dag,
+        Platform::new(args.procs),
+        args.fmax,
+        f64::MAX,
+    ) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let deadline = args.mult * inst.makespan_at_uniform_speed(args.fmax);
+    let inst = inst.with_deadline(deadline).expect("positive deadline");
+
+    let result: Result<(Schedule, f64), _> = match args.model.as_str() {
+        "continuous" => continuous::solve(&inst, args.fmin, args.fmax, &Default::default())
+            .map(|s| (Schedule::from_speeds(&s.speeds), s.energy)),
+        "vdd" => vdd::solve(inst.augmented_dag(), deadline, &args.modes)
+            .map(|s| (s.to_schedule(), s.energy)),
+        "discrete" => discrete::solve_bnb(
+            inst.augmented_dag(),
+            deadline,
+            &args.modes,
+            discrete::BnbBound::VddRelaxation,
+        )
+        .map(|s| (Schedule::from_speeds(&s.speeds), s.energy)),
+        "incremental" => incremental::solve(
+            inst.augmented_dag(),
+            deadline,
+            args.fmin,
+            args.fmax,
+            args.delta,
+            50,
+        )
+        .map(|s| (Schedule::from_speeds(&s.speeds), s.energy)),
+        other => {
+            eprintln!("error: unknown model {other}");
+            usage();
+            return ExitCode::from(1);
+        }
+    };
+
+    match result {
+        Ok((sched, energy)) => {
+            if args.json {
+                #[derive(serde::Serialize)]
+                struct Out<'a> {
+                    model: &'a str,
+                    deadline: f64,
+                    energy: f64,
+                    schedule: &'a Schedule,
+                }
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&Out {
+                        model: &args.model,
+                        deadline,
+                        energy,
+                        schedule: &sched,
+                    })
+                    .expect("schedule serialises")
+                );
+            } else {
+                println!(
+                    "dag {} ({} tasks) on {} procs, D = {:.4} (×{})",
+                    args.dag,
+                    inst.n_tasks(),
+                    args.procs,
+                    deadline,
+                    args.mult
+                );
+                println!("model {}: energy = {:.4}", args.model, energy);
+                let ms = sched
+                    .makespan(&inst.dag, &inst.mapping)
+                    .expect("valid schedule");
+                println!("makespan = {ms:.4} (deadline {deadline:.4})");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("infeasible: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

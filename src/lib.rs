@@ -1,0 +1,33 @@
+//! # energy-aware-scheduling
+//!
+//! Facade crate for the reproduction of *"Energy-aware scheduling: models
+//! and complexity results"* (G. Aupy, IPDPSW 2012). Re-exports the workspace
+//! crates under one roof:
+//!
+//! * [`taskgraph`] — weighted task DAGs, generators, series-parallel
+//!   decomposition ([`ea_taskgraph`]).
+//! * [`linalg`] — the dense linear-algebra kernel ([`ea_linalg`]).
+//! * [`lp`] — the two-phase simplex linear-programming solver ([`ea_lp`]).
+//! * [`convex`] — the log-barrier convex solver ([`ea_convex`]).
+//! * [`core`] — speed models, BI-CRIT and TRI-CRIT solvers ([`ea_core`]).
+//! * [`sim`] — the fault-injection discrete-event simulator ([`ea_sim`]).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory; run `cargo run --example quickstart` for a first tour.
+
+pub use ea_convex as convex;
+pub use ea_core as core;
+pub use ea_linalg as linalg;
+pub use ea_lp as lp;
+pub use ea_sim as sim;
+pub use ea_taskgraph as taskgraph;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use ea_core::platform::{Mapping, Platform};
+    pub use ea_core::reliability::ReliabilityModel;
+    pub use ea_core::schedule::Schedule;
+    pub use ea_core::speed::SpeedModel;
+    pub use ea_core::Instance;
+    pub use ea_taskgraph::{Dag, SpTree};
+}

@@ -1,0 +1,114 @@
+//! Property-based cross-solver invariants (proptest).
+
+use energy_aware_scheduling::core::bicrit::continuous;
+use energy_aware_scheduling::core::reliability::ReliabilityModel;
+use energy_aware_scheduling::core::tricrit;
+use energy_aware_scheduling::lp::{Cmp, LpOutcome, LpProblem};
+use energy_aware_scheduling::taskgraph::{analysis, generators, SpTree};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The SP equivalent-weight algebra agrees with the convex solver on
+    /// random series-parallel structures.
+    #[test]
+    fn sp_algebra_matches_convex(n in 2usize..12, seed in 0u64..500, mult in 1.2f64..4.0) {
+        let tree = generators::random_sp_tree(n, 0.5, 2.0, seed);
+        let dag = tree.to_dag();
+        let d = mult * analysis::critical_path_length(&dag, dag.weights());
+        let (_, e_closed) = continuous::sp_optimal(&tree, d);
+        let num = continuous::solve_general(&dag, d, 1e-6, 1e6, &Default::default())
+            .expect("unbounded speed box is always feasible");
+        prop_assert!((num.energy - e_closed).abs() <= 5e-3 * e_closed,
+            "closed {} vs convex {}", e_closed, num.energy);
+    }
+
+    /// The fork theorem is the SP algebra specialised to forks.
+    #[test]
+    fn fork_theorem_is_sp_special_case(
+        n in 1usize..8,
+        seed in 0u64..500,
+        w0 in 0.5f64..3.0,
+        mult in 1.1f64..5.0,
+    ) {
+        let ws = generators::random_weights(n, 0.5, 2.5, seed);
+        let cube: f64 = ws.iter().map(|w| w.powi(3)).sum();
+        let d = mult * (w0 + cube.cbrt());
+        let closed = continuous::fork_theorem(w0, &ws, d, 1e-9, 1e9).expect("feasible");
+        let tree = SpTree::series(vec![
+            SpTree::leaf(w0),
+            SpTree::parallel(ws.iter().map(|&w| SpTree::leaf(w)).collect()),
+        ]);
+        let (_, e_sp) = continuous::sp_optimal(&tree, d);
+        prop_assert!((closed.energy - e_sp).abs() <= 1e-9 * e_sp);
+    }
+
+    /// Optimal BI-CRIT energy scales as 1/D² (CONTINUOUS, no clamping):
+    /// doubling the deadline quarters the energy.
+    #[test]
+    fn energy_scales_inverse_square_in_deadline(n in 2usize..10, seed in 0u64..200) {
+        let tree = generators::random_sp_tree(n, 0.5, 2.0, seed);
+        let d1 = 2.0 * tree.equivalent_weight();
+        let (_, e1) = continuous::sp_optimal(&tree, d1);
+        let (_, e2) = continuous::sp_optimal(&tree, 2.0 * d1);
+        prop_assert!((e2 - e1 / 4.0).abs() <= 1e-9 * e1);
+    }
+
+    /// Simplex solutions are feasible for their LP and never beat the
+    /// known analytic optimum of a transportation-style program.
+    #[test]
+    fn simplex_feasibility(c0 in 0.1f64..5.0, c1 in 0.1f64..5.0, cap in 1.0f64..10.0) {
+        // min c0·x + c1·y  s.t. x + y ≥ cap, x ≤ cap, y ≤ cap
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(0, c0);
+        lp.set_objective(1, c1);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Ge, cap);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, cap);
+        lp.add_constraint(&[(1, 1.0)], Cmp::Le, cap);
+        match lp.solve() {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(lp.max_violation(&s.x) <= 1e-7);
+                let analytic = c0.min(c1) * cap;
+                prop_assert!((s.objective - analytic).abs() <= 1e-6 * analytic.max(1.0));
+            }
+            other => prop_assert!(false, "must be solvable: {other:?}"),
+        }
+    }
+
+    /// TRI-CRIT chain: the greedy solution always satisfies all three
+    /// criteria and is at least as good as the all-singles baseline.
+    #[test]
+    fn chain_greedy_feasible_and_no_worse_than_baseline(
+        n in 1usize..10,
+        seed in 0u64..300,
+        mult in 1.1f64..5.0,
+    ) {
+        let rel = ReliabilityModel::typical(1.0, 2.0, 1.8);
+        let w = generators::random_weights(n, 0.3, 2.0, seed);
+        let d = mult * w.iter().sum::<f64>() / rel.fmax;
+        let sol = tricrit::chain::solve_greedy(&w, d, &rel).expect("mult > 1 is feasible");
+        let dag = generators::chain(&w);
+        prop_assert!(sol.schedule.reliability_ok(&dag, &rel));
+        let time: f64 = sol.schedule.durations(&dag).iter().sum();
+        prop_assert!(time <= d * (1.0 + 1e-9));
+        let baseline = tricrit::chain::evaluate_subset(&w, d, &rel, &vec![false; n])
+            .expect("baseline feasible").1;
+        prop_assert!(sol.energy <= baseline * (1.0 + 1e-9));
+    }
+
+    /// Round-up never violates the deadline: rounding speeds upward can
+    /// only shrink durations.
+    #[test]
+    fn round_up_preserves_deadline(seed in 0u64..300, mult in 1.2f64..3.0) {
+        use energy_aware_scheduling::core::speed::SpeedModel;
+        let w = generators::random_weights(6, 0.5, 2.0, seed);
+        let d = mult * w.iter().sum::<f64>() / 2.0;
+        let model = SpeedModel::incremental(1.0, 2.0, 0.25);
+        let f_cont = (w.iter().sum::<f64>() / d).clamp(1.0, 2.0);
+        let f_rounded = model.round_up(f_cont).expect("within grid");
+        prop_assert!(f_rounded >= f_cont - 1e-9);
+        let time: f64 = w.iter().map(|wi| wi / f_rounded).sum();
+        prop_assert!(time <= d * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,157 @@
+//! TRI-CRIT integration: chain and fork algorithms, general-DAG
+//! heuristics, the VDD adaptation and the fault-injection simulator, all
+//! composed end-to-end.
+
+use energy_aware_scheduling::core::reliability::ReliabilityModel;
+use energy_aware_scheduling::core::speed::SpeedModel;
+use energy_aware_scheduling::core::tricrit::{self, heuristics};
+use energy_aware_scheduling::prelude::*;
+use energy_aware_scheduling::sim::run_monte_carlo;
+use energy_aware_scheduling::taskgraph::generators;
+
+fn rel() -> ReliabilityModel {
+    ReliabilityModel::typical(1.0, 2.0, 1.8)
+}
+
+#[test]
+fn chain_then_adapt_then_simulate() {
+    let rel = rel();
+    let w = generators::random_weights(10, 0.5, 2.0, 17);
+    let d = 2.5 * w.iter().sum::<f64>() / rel.fmax;
+    let dag = generators::chain(&w);
+    let mapping = Mapping::single_processor((0..w.len()).collect());
+
+    // 1. Continuous TRI-CRIT.
+    let cont = tricrit::chain::solve_greedy(&w, d, &rel).expect("feasible");
+    assert!(cont.schedule.reliability_ok(&dag, &rel));
+
+    // 2. Adapt to a 6-mode VDD platform.
+    let model = SpeedModel::vdd_hopping(vec![1.0, 1.2, 1.4, 1.6, 1.8, 2.0]);
+    let adapted = tricrit::vdd::adapt(&dag, &cont, &rel, &model).expect("adaptable");
+    adapted
+        .schedule
+        .validate(&dag, &model, &mapping, Some(d))
+        .expect("adapted schedule valid");
+    assert!(adapted.schedule.reliability_ok(&dag, &rel));
+    assert!(adapted.loss_factor >= 1.0 - 1e-9);
+
+    // 3. Simulate with a hot fault model scaled from the same parameters:
+    //    empirical per-task failure rates must sit near the analytic ones.
+    let hot = ReliabilityModel::new(0.01, rel.d, rel.fmin, rel.fmax, rel.frel);
+    let stats = run_monte_carlo(&dag, &mapping, &adapted.schedule, &hot, 20_000, 5);
+    let expected = energy_aware_scheduling::sim::montecarlo::expected_failure_probs(
+        &dag,
+        &adapted.schedule,
+        &hot,
+    );
+    for (t, (&emp, &ana)) in stats.task_failure_rate.iter().zip(&expected).enumerate() {
+        let tol = 4.0 * (ana.max(1e-4) / 20_000.0).sqrt() + 2e-3;
+        assert!(
+            (emp - ana.min(1.0)).abs() < tol,
+            "task {t}: empirical {emp} vs analytic {ana}"
+        );
+    }
+}
+
+#[test]
+fn fork_poly_beats_or_matches_singles_baseline() {
+    let rel = rel();
+    for seed in 0..5 {
+        let ws = generators::random_weights(7, 0.5, 2.0, seed);
+        let base = 1.0 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+        let d = 3.0 * base;
+        let sol = tricrit::fork::solve(1.0, &ws, d, &rel).expect("feasible");
+        // Baseline: everything once at the minimum reliable speed that
+        // fits: speed max(w/t, frel) with the theorem-less split t = D − w0/frel.
+        let t = d - 1.0 / rel.frel;
+        let baseline: f64 = 1.0 * rel.frel * rel.frel
+            + ws.iter()
+                .map(|&w| {
+                    let f = (w / t).max(rel.frel);
+                    w * f * f
+                })
+                .sum::<f64>();
+        assert!(
+            sol.energy <= baseline * (1.0 + 1e-9),
+            "seed {seed}: fork algorithm {} vs baseline {}",
+            sol.energy,
+            baseline
+        );
+    }
+}
+
+#[test]
+fn heuristics_complementarity_shape() {
+    // The paper's qualitative claim: H-A is the right tool on chains, H-B
+    // on forks. Verify on one clean instance of each.
+    let rel = rel();
+
+    let w = generators::random_weights(20, 0.5, 2.0, 23);
+    let d = 1.7 * w.iter().sum::<f64>() / rel.fmax;
+    let chain_inst = Instance::single_chain(&w, d).expect("valid");
+    let a = heuristics::heuristic_a(&chain_inst, &rel).expect("feasible");
+    let b = heuristics::heuristic_b(&chain_inst, &rel).expect("feasible");
+    assert!(
+        a.energy <= b.energy * (1.0 + 1e-9),
+        "chain: H-A {} should win over H-B {}",
+        a.energy,
+        b.energy
+    );
+
+    let ws = generators::random_weights(16, 0.5, 2.0, 29);
+    let base = 1.0 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
+    let fork_inst = Instance::fork(1.0, &ws, 2.2 * base).expect("valid");
+    let (best, _) = heuristics::best_of(&fork_inst, &rel).expect("feasible");
+    let ms = best.schedule.makespan(&fork_inst.dag, &fork_inst.mapping).expect("valid");
+    assert!(ms <= fork_inst.deadline * (1.0 + 1e-6));
+    assert!(best.schedule.reliability_ok(&fork_inst.dag, &rel));
+}
+
+#[test]
+fn heuristics_on_application_dags() {
+    let rel = rel();
+    for (label, dag) in [
+        ("stencil", generators::stencil_wavefront(4, 4, 1.0)),
+        ("fft", generators::fft_butterfly(3, 1.0)),
+        ("gauss", generators::gaussian_elimination(4, 1.0)),
+    ] {
+        let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(4), rel.fmax, f64::MAX)
+            .expect("mapping succeeds");
+        let d = 2.0 * inst.makespan_at_uniform_speed(rel.fmax);
+        let inst = inst.with_deadline(d).expect("positive deadline");
+        let (best, _) = heuristics::best_of(&inst, &rel).expect("feasible");
+        let ms = best.schedule.makespan(&inst.dag, &inst.mapping).expect("valid");
+        assert!(ms <= d * (1.0 + 1e-6), "{label}: makespan {ms} > {d}");
+        assert!(best.schedule.reliability_ok(&inst.dag, &rel), "{label}");
+        // Re-execution must actually be exploited somewhere given 2× slack.
+        let all_frel: f64 = inst
+            .dag
+            .weights()
+            .iter()
+            .map(|w| w * rel.frel * rel.frel)
+            .sum();
+        assert!(
+            best.energy <= all_frel * (1.0 + 1e-9),
+            "{label}: best-of {} must not exceed the frel baseline {all_frel}",
+            best.energy
+        );
+    }
+}
+
+#[test]
+fn exhaustive_confirms_greedy_on_tiny_instances() {
+    let rel = rel();
+    for seed in 0..6 {
+        let w = generators::random_weights(8, 0.5, 2.0, seed + 100);
+        let d = 2.0 * w.iter().sum::<f64>() / rel.fmax;
+        let greedy = tricrit::chain::solve_greedy(&w, d, &rel).expect("feasible");
+        let exact = tricrit::chain::solve_exhaustive(&w, d, &rel).expect("feasible");
+        assert!(
+            greedy.energy <= exact.energy * 1.05 + 1e-9,
+            "seed {seed}: greedy {} vs exact {}",
+            greedy.energy,
+            exact.energy
+        );
+        assert!(exact.energy <= greedy.energy * (1.0 + 1e-9), "exact is a lower bound");
+    }
+}
