@@ -56,7 +56,7 @@ proptest! {
     #[test]
     fn matches_vertex_enumeration_2d(seed in 0u64..10_000) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let c = [rng.random_range(0.1..3.0), rng.random_range(0.1..3.0)];
+        let c: [f64; 2] = [rng.random_range(0.1..3.0), rng.random_range(0.1..3.0)];
         // 2–5 random ≤-rows with positive coefficients (region bounded by
         // x,y ≥ 0 and at least one row, and non-empty since 0 is feasible).
         let m = rng.random_range(2..6usize);

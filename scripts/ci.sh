@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Run from anywhere; fully offline.
+#
+#   scripts/ci.sh            # release build + tests + bench/example compile
+#   PROPTEST_CASES=16 scripts/ci.sh   # faster property tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo build --examples"
+cargo build --examples
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "tier-1 gate: OK"

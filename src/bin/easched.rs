@@ -157,7 +157,13 @@ fn main() -> ExitCode {
         }
     };
     let deadline = args.mult * inst.makespan_at_uniform_speed(args.fmax);
-    let inst = inst.with_deadline(deadline).expect("positive deadline");
+    let inst = match inst.with_deadline(deadline) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e} (empty DAG or non-positive --mult?)");
+            return ExitCode::from(1);
+        }
+    };
 
     let result: Result<(Schedule, f64), _> = match args.model.as_str() {
         "continuous" => continuous::solve(&inst, args.fmin, args.fmax, &Default::default())

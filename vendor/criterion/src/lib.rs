@@ -1,0 +1,289 @@
+//! Offline stand-in for `criterion` (subset).
+//!
+//! Provides the structural API the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function`, and
+//! [`Bencher::iter`] — with a simple mean-of-samples measurement loop
+//! instead of upstream's statistical analysis. Reports `ns/iter` to
+//! stdout; there is no HTML report, baseline storage, or outlier
+//! rejection. A benchmark-name filter passed on the command line is
+//! honoured, as is `--quick` (one sample).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Top-level handle; owns CLI options shared by every group.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [filter...]`.
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" => {}
+                "--quick" => quick = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifies one benchmark: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// An id with only a parameter part.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match (self.function.is_empty(), self.parameter.is_empty()) {
+            (false, false) => format!("{group}/{}/{}", self.function, self.parameter),
+            (false, true) => format!("{group}/{}", self.function),
+            (true, false) => format!("{group}/{}", self.parameter),
+            (true, true) => group.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: String::new() }
+    }
+}
+
+/// A set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into().render(&self.name);
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().render(&self.name);
+        self.run(&label, |b| f(b));
+        self
+    }
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.criterion.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.criterion.quick { 1 } else { self.sample_size };
+
+        // Warm-up: repeat until the warm-up budget is spent (once minimum).
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        let warm_up_start = Instant::now();
+        loop {
+            f(&mut bencher);
+            if warm_up_start.elapsed() >= self.warm_up_time || self.criterion.quick {
+                break;
+            }
+        }
+
+        // Measurement: `samples` calls, stopping early at the time budget.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        for _ in 0..samples {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            total += bencher.elapsed;
+            iters += bencher.iters;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        if iters == 0 {
+            println!("{label:<50} (no iterations recorded)");
+            return;
+        }
+        let per_iter = total.as_nanos() as f64 / iters as f64;
+        println!("{label:<50} {:>12.1} ns/iter ({iters} iters)", per_iter);
+    }
+
+    /// Ends the group (upstream emits summaries here; we print per-bench).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark sample.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` in a timed loop, accumulating elapsed time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: one untimed call decides the batch size.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let batch = if once >= Duration::from_millis(10) {
+            1
+        } else {
+            let per = once.as_nanos().max(100) as u64;
+            (10_000_000 / per).clamp(1, 10_000)
+        };
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += batch;
+    }
+
+    /// Like `iter`, but takes the measurement from the closure's own timing.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let iters = 10;
+        self.elapsed += f(iters);
+        self.iters += iters;
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("sum", 8usize), &8usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.bench_function("plain", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).render("g"), "g/f/3");
+        assert_eq!(BenchmarkId::from_parameter(3).render("g"), "g/3");
+        assert_eq!(BenchmarkId::from("f").render("g"), "g/f");
+    }
+}

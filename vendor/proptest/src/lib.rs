@@ -1,0 +1,295 @@
+//! Offline stand-in for `proptest` (subset).
+//!
+//! Supports the surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * numeric range strategies (`0u64..10_000`, `0.1f64..2.0`, `1usize..6`,
+//!   inclusive variants) plus [`Just`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Differences from upstream: sampling is deterministic (seeded from the
+//! test path and case index, so failures reproduce exactly) and there is
+//! no shrinking — the failing inputs are printed instead. The
+//! `PROPTEST_CASES` environment variable overrides every configured case
+//! count, which CI uses to trade coverage for wall-clock time.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-suite configuration (subset of upstream's fields).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Maximum rejections tolerated (kept for API compatibility).
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 1024 }
+    }
+}
+
+/// Resolves the case count: `PROPTEST_CASES` env var wins over the config.
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(config.cases)
+}
+
+/// Deterministic per-case RNG: seeded from the test path and case index.
+pub fn test_rng(test_path: &str, case: u32) -> StdRng {
+    // FNV-1a over the test path, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Records a failure with the given message.
+    pub fn fail(msg: impl std::fmt::Display) -> Self {
+        TestCaseError { msg: msg.to_string() }
+    }
+
+    /// Alias used by upstream's `Reject` path; treated as failure here.
+    pub fn reject(msg: impl std::fmt::Display) -> Self {
+        TestCaseError::fail(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of one property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator. Upstream strategies also shrink; this one samples.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(usize, u64, u32, i64, i32);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f64, f32);
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Defines property tests over sampled inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u64..100, y in 0.0f64..1.0) { prop_assert!(x as f64 * y < 100.0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::effective_cases(&__config);
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_rng(__path, __case);
+                $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let __result: $crate::TestCaseResult = (move || {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = __result {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}\n  inputs: {}",
+                        __path, __case, __cases, e, __inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {{
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// The usual glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(n in 1usize..6, seed in 0u64..10_000, x in 0.25f64..4.0) {
+            prop_assert!((1..6).contains(&n));
+            prop_assert!(seed < 10_000);
+            prop_assert!((0.25..4.0).contains(&x));
+        }
+
+        #[test]
+        fn eq_and_ne_macros(a in 3u64..4) {
+            prop_assert_eq!(a, 3);
+            prop_assert_ne!(a, 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 0i32..10) {
+            prop_assert!(v >= 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        use crate::Strategy;
+        let s = 0u64..1_000_000;
+        let a = s.new_value(&mut crate::test_rng("t", 5));
+        let b = s.new_value(&mut crate::test_rng("t", 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0u64..1) {
+                prop_assert!(x > 100, "x too small");
+            }
+        }
+        always_fails();
+    }
+}

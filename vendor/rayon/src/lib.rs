@@ -1,0 +1,291 @@
+//! Offline stand-in for `rayon` (1.x API subset).
+//!
+//! Backs `into_par_iter()` on index ranges and vectors with
+//! `std::thread::scope` fan-out. The chunking is deterministic for a
+//! fixed thread count, so seeded Monte-Carlo campaigns reproduce
+//! exactly within a process (`ea-sim` relies on this).
+//!
+//! Surface: `IntoParallelIterator` for `Range<usize>` / `Vec<T>`, with
+//! `fold(..).reduce(..)`, `map(..)`, `for_each`, `sum`, and `collect`.
+
+use std::ops::Range;
+
+/// Number of worker threads: `RAYON_NUM_THREADS` or the hardware count.
+fn num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Splits `items` into at most [`num_threads`] contiguous chunks and maps
+/// each chunk on its own scoped thread, preserving chunk order.
+fn scatter<T, A, F>(items: Vec<T>, work: F) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    F: Fn(Vec<T>) -> A + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = num_threads().min(n);
+    if threads == 1 {
+        return vec![work(items)];
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || work(c)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Conversion into a parallel iterator (the entry point of the prelude).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A minimal parallel iterator: a materialised item list plus adapters.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Materialises the items (adapters are applied eagerly on `reduce`).
+    fn items(self) -> Vec<Self::Item>;
+
+    /// Parallel fold: produces one accumulator per chunk; combine the
+    /// partials with a subsequent [`ParallelIterator::reduce`].
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<T>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, Self::Item) -> T + Sync,
+    {
+        let partials = scatter(self.items(), |chunk| {
+            chunk.into_iter().fold(identity(), &fold_op)
+        });
+        Fold { partials }
+    }
+
+    /// Parallel map (eager).
+    fn map<B, F>(self, op: F) -> VecParIter<B>
+    where
+        B: Send,
+        F: Fn(Self::Item) -> B + Sync,
+    {
+        let mapped = scatter(self.items(), |chunk| {
+            chunk.into_iter().map(&op).collect::<Vec<_>>()
+        });
+        VecParIter { items: mapped.into_iter().flatten().collect() }
+    }
+
+    /// Parallel for-each.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        scatter(self.items(), |chunk| chunk.into_iter().for_each(&op));
+    }
+
+    /// Parallel sum.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.items().into_iter().sum()
+    }
+
+    /// Collects into a container.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.items().into_iter().collect()
+    }
+
+    /// Reduces all items directly.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let partials = scatter(self.items(), |chunk| {
+            chunk.into_iter().fold(identity(), |a, b| op(a, b))
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+}
+
+/// The partial accumulators produced by [`ParallelIterator::fold`]; itself
+/// a parallel iterator over the chunk accumulators, as in rayon.
+pub struct Fold<T> {
+    partials: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for Fold<T> {
+    type Item = T;
+    fn items(self) -> Vec<T> {
+        self.partials
+    }
+}
+
+/// Parallel iterator over a materialised vector.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// Parallel iterator over an index range; folds chunk sub-ranges
+/// arithmetically, so no index vector is ever materialised.
+pub struct RangeParIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                RangeParIter { range: self }
+            }
+        }
+
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn items(self) -> Vec<$t> {
+                self.range.collect()
+            }
+
+            fn fold<T2, ID, F>(self, identity: ID, fold_op: F) -> Fold<T2>
+            where
+                T2: Send,
+                ID: Fn() -> T2 + Sync,
+                F: Fn(T2, $t) -> T2 + Sync,
+            {
+                let Range { start, end } = self.range;
+                let n = end.saturating_sub(start) as usize;
+                if n == 0 {
+                    return Fold { partials: Vec::new() };
+                }
+                let threads = num_threads().min(n);
+                let chunk = n.div_ceil(threads) as $t;
+                let bounds: Vec<Range<$t>> = (0..threads as $t)
+                    .map(|i| {
+                        let lo = start + i * chunk;
+                        lo..(lo + chunk).min(end)
+                    })
+                    .collect();
+                let identity = &identity;
+                let fold_op = &fold_op;
+                let partials = std::thread::scope(|scope| {
+                    let handles: Vec<_> = bounds
+                        .into_iter()
+                        .map(|r| scope.spawn(move || r.fold(identity(), fold_op)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect::<Vec<_>>()
+                });
+                Fold { partials }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(usize, u64);
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
+/// The usual glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_counts() {
+        let total = (0..1000usize)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_float_fold() {
+        let run = || {
+            (0..10_000usize)
+                .into_par_iter()
+                .fold(|| 0.0f64, |acc, x| acc + (x as f64).sqrt())
+                .reduce(|| 0.0, |a, b| a + b)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}

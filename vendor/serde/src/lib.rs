@@ -1,0 +1,355 @@
+//! Offline stand-in for `serde` (subset).
+//!
+//! Instead of upstream's visitor-based serializer/deserializer traits,
+//! this vendored core uses a concrete JSON-shaped data model,
+//! [`Content`]: `Serialize` lowers a value into a `Content` tree and
+//! `Deserialize` rebuilds the value from one. `serde_json` then renders
+//! and parses `Content`. Encodings follow serde's defaults:
+//!
+//! * structs → maps keyed by field name,
+//! * enums → externally tagged (`{"Variant": …}`, unit variants as strings),
+//! * `Option` → `null` / inner value, tuples and `Vec` → sequences.
+//!
+//! The derive macros are re-exported from the vendored `serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model shared by all (de)serializers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with string keys, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a [`Content::Map`].
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// A short description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError { msg: msg.to_string() }
+    }
+
+    /// Type-mismatch helper.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError::custom(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lowers `self` into the [`Content`] data model.
+pub trait Serialize {
+    /// Returns the `Content` representation of `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuilds `Self` from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `content`.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Reads a struct field from a map, treating a missing key as `null`
+/// (so `Option` fields tolerate omission). Used by the derive macro.
+pub fn field<T: Deserialize>(map: &Content, name: &str) -> Result<T, DeError> {
+    match map.get(name) {
+        Some(v) => T::from_content(v)
+            .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        None => T::from_content(&Content::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let out = match content {
+                    Content::U64(v) => <$t>::try_from(*v).ok(),
+                    Content::I64(v) => <$t>::try_from(*v).ok(),
+                    Content::F64(v) if v.fract() == 0.0 => {
+                        let i = *v as i64;
+                        <$t>::try_from(i).ok()
+                    }
+                    _ => None,
+                };
+                out.ok_or_else(|| DeError::expected(stringify!($t), content))
+            }
+        }
+    )*};
+}
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_de_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_de_float!(f32, f64);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("sequence of length ", stringify!($len)),
+                        other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (A: 0; 1)
+    (A: 0, B: 1; 2)
+    (A: 0, B: 1, C: 2; 3)
+    (A: 0, B: 1, C: 2, D: 3; 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(usize::from_content(&7usize.to_content()).unwrap(), 7);
+        assert_eq!(i64::from_content(&(-3i64).to_content()).unwrap(), -3);
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(usize, f64)> = vec![(1, 2.0), (3, 4.5)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(usize, f64)>::from_content(&c).unwrap(), v);
+
+        let o: Option<u64> = None;
+        assert_eq!(o.to_content(), Content::Null);
+        assert_eq!(Option::<u64>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_option_field_defaults_to_none() {
+        let map = Content::Map(vec![("present".into(), Content::U64(1))]);
+        let got: Option<u64> = field(&map, "absent").unwrap();
+        assert_eq!(got, None);
+        let present: u64 = field(&map, "present").unwrap();
+        assert_eq!(present, 1);
+        assert!(field::<u64>(&map, "absent").is_err());
+    }
+}

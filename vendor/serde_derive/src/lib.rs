@@ -1,0 +1,483 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` with no
+//! `syn`/`quote` dependency: the item is parsed directly off the
+//! `proc_macro::TokenStream` and the impl is emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * named structs, tuple/newtype structs, unit structs,
+//! * enums with named-field, tuple/newtype, and unit variants,
+//! * generic parameters without bounds or where-clauses (e.g. `<'a>`).
+//!
+//! Encodings match serde's defaults (externally tagged enums, structs as
+//! maps); the runtime side lives in the vendored `serde` crate's
+//! `Content` model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed form of the deriving item.
+struct Item {
+    name: String,
+    /// Generics as written, e.g. `<'a, T>` (empty when absent).
+    generics: String,
+    /// Generic parameter names only, e.g. `<'a, T>` with bounds stripped.
+    ty_generics: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Derives `serde::Serialize` via the `Content` data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Kind::Unit => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_arm(&item.name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let Item { name, generics, ty_generics, .. } = &item;
+    format!(
+        "impl{generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+fn serialize_arm(ty: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => format!(
+            "{ty}::{vname} => ::serde::Content::Str(String::from({vname:?})),"
+        ),
+        Shape::Tuple(1) => format!(
+            "{ty}::{vname}(x0) => ::serde::Content::Map(vec![(String::from({vname:?}), \
+             ::serde::Serialize::to_content(x0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binds = (0..*n).map(|i| format!("x{i}")).collect::<Vec<_>>().join(", ");
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(x{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{ty}::{vname}({binds}) => ::serde::Content::Map(vec![(String::from({vname:?}), \
+                 ::serde::Content::Seq(vec![{items}]))]),"
+            )
+        }
+        Shape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from({f:?}), ::serde::Serialize::to_content({f}))")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{ty}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(String::from({vname:?}), \
+                 ::serde::Content::Map(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Deserialize` via the `Content` data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__c, {f:?})?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Map(_) => Ok({name} {{ {inits} }}),\n\
+                     other => Err(::serde::DeError::expected(\"map for struct {name}\", other)),\n\
+                 }}"
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::serde::Deserialize::from_content(__c).map({name})")
+        }
+        Kind::Tuple(n) => {
+            let inits = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                         Ok({name}({inits})),\n\
+                     other => Err(::serde::DeError::expected(\"sequence of length {n}\", other)),\n\
+                 }}"
+            )
+        }
+        Kind::Unit => format!("{{ let _ = __c; Ok({name}) }}"),
+        Kind::Enum(variants) => deserialize_enum(name, variants),
+    };
+    let Item { generics, ty_generics, .. } = &item;
+    format!(
+        "impl{generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_content(__c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("{0:?} => Ok({name}::{0}),", v.name))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let tagged_arms = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => unreachable!(),
+                Shape::Tuple(1) => format!(
+                    "{vname:?} => ::serde::Deserialize::from_content(__inner).map({name}::{vname}),"
+                ),
+                Shape::Tuple(n) => {
+                    let inits = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "{vname:?} => match __inner {{\n\
+                             ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                                 Ok({name}::{vname}({inits})),\n\
+                             other => Err(::serde::DeError::expected(\
+                                 \"sequence of length {n} for variant {vname}\", other)),\n\
+                         }},"
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(__inner, {f:?})?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("{vname:?} => Ok({name}::{vname} {{ {inits} }}),")
+                }
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "match __c {{\n\
+             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::DeError::custom(\
+                     format!(\"unknown unit variant `{{other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => Err(::serde::DeError::custom(\
+                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => Err(::serde::DeError::expected(\"enum {name}\", other)),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Leading attributes (`#[...]`, including expanded doc comments) and
+    // the visibility qualifier.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+
+    // Optional generics: capture raw tokens between `<` and the matching `>`.
+    let mut generics = String::new();
+    let mut ty_generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut raw: Vec<TokenTree> = Vec::new();
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                raw.push(tt);
+            }
+            // Re-collect through TokenStream so joint tokens (`'a`) print
+            // without an interior space.
+            let full = raw.iter().cloned().collect::<TokenStream>().to_string();
+            generics = format!("<{full}>");
+            ty_generics = format!("<{}>", strip_bounds(&raw));
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::Unit, // `struct Name;`
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item { name, generics, ty_generics, kind }
+}
+
+/// Drops bounds from generic params: `'a: 'b, T: Clone` → `'a, T`.
+fn strip_bounds(raw: &[TokenTree]) -> String {
+    let flush = |current: &mut Vec<TokenTree>, out: &mut Vec<String>| {
+        if !current.is_empty() {
+            out.push(std::mem::take(current).into_iter().collect::<TokenStream>().to_string());
+        }
+    };
+    let mut out: Vec<String> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut in_bounds = false;
+    let mut depth = 0usize;
+    for tt in raw {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' | '(' => depth += 1,
+                '>' | ')' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    flush(&mut current, &mut out);
+                    in_bounds = false;
+                    continue;
+                }
+                ':' if depth == 0 => {
+                    in_bounds = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_bounds {
+            current.push(tt.clone());
+        }
+    }
+    flush(&mut current, &mut out);
+    out.join(", ")
+}
+
+/// Extracts field names from a named-field body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Skip `: Type` up to the field-separating comma (depth-aware:
+        // commas may appear inside generics `<...>` or nested groups).
+        let mut angle_depth = 0usize;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level fields of a tuple body (`(f64, Vec<(f64, f64)>)` → 2).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0usize;
+    let mut pending = false;
+    for tt in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending || (saw_tokens && count == 0) {
+        count += 1;
+    }
+    count
+}
+
+/// Parses enum variants.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(vname)) = tokens.next() else {
+            break;
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name: vname.to_string(), shape });
+        // Skip to the next comma (handles explicit discriminants).
+        while let Some(tt) = tokens.next() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
