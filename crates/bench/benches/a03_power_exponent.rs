@@ -24,7 +24,10 @@ fn bench_power_and_checkpoint(c: &mut Criterion) {
     for &n in &[16usize, 64] {
         let w = generators::random_weights(n, 0.5, 1.5, 13);
         let d = 3.0 * w.iter().sum::<f64>() / rel.fmax;
-        let cost = CheckpointCost { time: 0.1, energy: 0.1 };
+        let cost = CheckpointCost {
+            time: 0.1,
+            energy: 0.1,
+        };
         group.bench_with_input(BenchmarkId::new("checkpoint_dp", n), &n, |b, _| {
             b.iter(|| solve_chain(black_box(&w), d, &rel, &cost).expect("feasible"))
         });

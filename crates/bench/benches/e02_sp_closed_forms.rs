@@ -30,14 +30,8 @@ fn bench_sp(c: &mut Criterion) {
     let d = 1.5 * analysis::critical_path_length(&dag, dag.weights());
     group.bench_function("convex_reference_n24", |b| {
         b.iter(|| {
-            continuous::solve_general(
-                black_box(&dag),
-                d,
-                1e-6,
-                1e6,
-                &BarrierOptions::default(),
-            )
-            .expect("feasible")
+            continuous::solve_general(black_box(&dag), d, 1e-6, 1e6, &BarrierOptions::default())
+                .expect("feasible")
         })
     });
     group.finish();

@@ -18,7 +18,7 @@ fn bench_vdd(c: &mut Criterion) {
         let n = inst.n_tasks();
         group.bench_with_input(BenchmarkId::new("tasks", n), &n, |b, _| {
             b.iter(|| {
-                vdd::solve(black_box(inst.augmented_dag()), inst.deadline, &modes)
+                vdd::solve_on_dag(black_box(inst.augmented_dag()), inst.deadline, &modes)
                     .expect("feasible")
             })
         });
@@ -28,7 +28,7 @@ fn bench_vdd(c: &mut Criterion) {
         let modes = workloads::standard_modes(m);
         group.bench_with_input(BenchmarkId::new("modes", m), &m, |b, _| {
             b.iter(|| {
-                vdd::solve(black_box(inst.augmented_dag()), inst.deadline, &modes)
+                vdd::solve_on_dag(black_box(inst.augmented_dag()), inst.deadline, &modes)
                     .expect("feasible")
             })
         });

@@ -19,7 +19,7 @@ fn bench_incremental(c: &mut Criterion) {
             &delta,
             |b, &delta| {
                 b.iter(|| {
-                    incremental::solve(
+                    incremental::solve_on_dag(
                         black_box(inst.augmented_dag()),
                         inst.deadline,
                         1.0,
@@ -35,7 +35,7 @@ fn bench_incremental(c: &mut Criterion) {
     for &k in &[1usize, 100, 10000] {
         group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
             b.iter(|| {
-                incremental::solve(
+                incremental::solve_on_dag(
                     black_box(inst.augmented_dag()),
                     inst.deadline,
                     1.0,

@@ -27,9 +27,7 @@ fn bench_fork(c: &mut Criterion) {
         let base = 1.5 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
         let d = 2.5 * base;
         group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
-            b.iter(|| {
-                fork::solve_brute_force(black_box(1.5), &ws, d, &rel, 100).expect("feasible")
-            })
+            b.iter(|| fork::solve_brute_force(black_box(1.5), &ws, d, &rel, 100).expect("feasible"))
         });
     }
     group.finish();

@@ -1,0 +1,56 @@
+//! E11 bench: scenario-engine batch throughput across rayon thread
+//! counts — the parallel-scaling anchor of the ROADMAP's batch layer.
+//!
+//! A 36-scenario grid (2 DAG families × 3 speed models × 2 deadlines ×
+//! 3 seeds) is evaluated by `run_batch` with 1, 2, and 4 worker threads;
+//! the wall-clock ratio between the 1- and 4-thread groups makes the
+//! rayon fan-out visible (`scenarios/sec = 36 / mean time`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_core::speed::SpeedModel;
+use ea_engine::{run_batch, BatchOptions, DagSpec, Scenario};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn batch_scenarios() -> Vec<Scenario> {
+    let specs = [
+        DagSpec::Chain { n: 16 },
+        DagSpec::Layered {
+            layers: 4,
+            width: 3,
+        },
+    ];
+    let models = [
+        SpeedModel::continuous(1.0, 2.0),
+        SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+        SpeedModel::incremental(1.0, 2.0, 0.25),
+    ];
+    Scenario::grid(&specs, &models, &[1.3, 1.7], &[0, 1, 2])
+}
+
+fn bench_batch_engine(c: &mut Criterion) {
+    let scenarios = batch_scenarios();
+    assert!(
+        scenarios.len() >= 32,
+        "acceptance batch must be ≥ 32 scenarios"
+    );
+    let opts = BatchOptions::default();
+
+    let mut group = c.benchmark_group("e11_batch_engine");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        // The vendored rayon reads RAYON_NUM_THREADS per scatter call, so
+        // the worker count can be pinned per measurement.
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| run_batch(black_box(&scenarios), &opts))
+        });
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_engine);
+criterion_main!(benches);

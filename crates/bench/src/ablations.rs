@@ -9,10 +9,11 @@
 
 use crate::table::{fmt_f, Table};
 use crate::workloads;
-use ea_core::bicrit::continuous;
+use ea_core::bicrit::{self, continuous, SolveOptions};
 use ea_core::ext::{mapping, power, replication};
 use ea_core::instance::Instance;
 use ea_core::platform::Platform;
+use ea_core::speed::SpeedModel;
 use ea_core::tricrit;
 use ea_taskgraph::generators;
 
@@ -25,7 +26,14 @@ pub fn a01_replication() -> Vec<Table> {
     let base = w0 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
     let mut t = Table::new(
         "A1: replication vs re-execution on a fork (8 branches)",
-        &["D mult", "spares", "energy", "#replicated", "#re-executed", "vs re-exec only %"],
+        &[
+            "D mult",
+            "spares",
+            "energy",
+            "#replicated",
+            "#re-executed",
+            "vs re-exec only %",
+        ],
     );
     for &mult in &[1.25, 1.6, 2.5] {
         let d = mult * base;
@@ -61,11 +69,20 @@ pub fn a01_replication() -> Vec<Table> {
 pub fn a02_mapping() -> Vec<Table> {
     let mut t = Table::new(
         "A2: list-scheduling policy vs downstream BI-CRIT energy (3 procs)",
-        &["DAG", "policy", "makespan@fmax", "E continuous", "E vs EF %"],
+        &[
+            "DAG",
+            "policy",
+            "makespan@fmax",
+            "E continuous",
+            "E vs EF %",
+        ],
     );
     let fmax = 2.0;
     let dags: Vec<(&str, ea_taskgraph::Dag)> = vec![
-        ("layered", generators::random_layered(6, 4, 0.3, 0.5, 2.0, 11)),
+        (
+            "layered",
+            generators::random_layered(6, 4, 0.3, 0.5, 2.0, 11),
+        ),
         ("gauss b=4", generators::gaussian_elimination(4, 1.0)),
         ("stencil 5×5", generators::stencil_wavefront(5, 5, 1.0)),
     ];
@@ -85,7 +102,8 @@ pub fn a02_mapping() -> Vec<Table> {
             let Ok(inst) = Instance::new(dag.clone(), Platform::new(3), m, d_ref) else {
                 continue;
             };
-            let Ok(sol) = continuous::solve(&inst, 0.5, fmax, &Default::default()) else {
+            let model = SpeedModel::continuous(0.5, fmax);
+            let Ok(sol) = bicrit::solve(&inst, &model, &SolveOptions::default()) else {
                 t.push(vec![
                     label.into(),
                     pname.into(),
@@ -128,7 +146,11 @@ pub fn a03_power_exponent() -> Vec<Table> {
     let d = 1.5 * cp * fmax; // deadline in the same units as sp_optimal
     for &alpha in &[2.0, 2.25, 2.5, 2.75, 3.0] {
         let e_opt = power::sp_optimal_energy(&tree, d, alpha);
-        let e_fmax: f64 = dag.weights().iter().map(|w| w * fmax.powf(alpha - 1.0)).sum();
+        let e_fmax: f64 = dag
+            .weights()
+            .iter()
+            .map(|w| w * fmax.powf(alpha - 1.0))
+            .sum();
         t.push(vec![
             fmt_f(alpha),
             fmt_f(e_opt),
@@ -165,7 +187,14 @@ pub fn a04_checkpoint() -> Vec<Table> {
     let total: f64 = w.iter().sum();
     let mut t = Table::new(
         "A4: checkpointing on a chain (worst-case semantics) vs re-execution",
-        &["D mult", "ckpt cost", "segments", "speed", "E ckpt (worst)", "E re-exec (worst)"],
+        &[
+            "D mult",
+            "ckpt cost",
+            "segments",
+            "speed",
+            "E ckpt (worst)",
+            "E re-exec (worst)",
+        ],
     );
     for &mult in &[2.5, 3.5] {
         let d = mult * total / rel.fmax;

@@ -5,7 +5,7 @@
 use crate::table::{fmt_f, Table};
 use crate::workloads;
 use ea_convex::BarrierOptions;
-use ea_core::bicrit::{continuous, discrete, incremental, vdd};
+use ea_core::bicrit::{self, continuous, BnbBound, SolveOptions};
 use ea_core::instance::Instance;
 use ea_core::reductions;
 use ea_core::speed::SpeedModel;
@@ -18,7 +18,14 @@ use std::time::Instant;
 pub fn e01_fork_closed_form() -> Vec<Table> {
     let mut t = Table::new(
         "E1: fork theorem — closed form vs convex solver (CONTINUOUS BI-CRIT)",
-        &["n branches", "E closed", "E convex", "rel.err", "closed µs", "convex ms"],
+        &[
+            "n branches",
+            "E closed",
+            "E convex",
+            "rel.err",
+            "closed µs",
+            "convex ms",
+        ],
     );
     for &n in &[2usize, 4, 8, 16, 32] {
         let ws = generators::random_weights(n, 0.5, 2.5, n as u64);
@@ -93,42 +100,53 @@ pub fn e02_sp_closed_forms() -> Vec<Table> {
 }
 
 /// E3 — the VDD-HOPPING LP: polynomial scaling, ≤ 2 adjacent modes per
-/// task, and the CONTINUOUS ≤ VDD ≤ DISCRETE energy sandwich.
+/// task, and the CONTINUOUS ≤ VDD ≤ DISCRETE energy sandwich — entirely
+/// through the unified `bicrit::solve` dispatcher.
 pub fn e03_vdd_lp() -> Vec<Table> {
     let modes = workloads::standard_modes(5);
+    let vdd_model = SpeedModel::vdd_hopping(modes.clone());
+    let cont_model = SpeedModel::continuous(1.0, 2.0);
+    let opts = SolveOptions::default();
     let mut t = Table::new(
         "E3: VDD-HOPPING LP (m = 5 modes)",
-        &["n tasks", "LP rows", "pivots", "ms", "max modes/task", "adjacent", "E_cont ≤ E_vdd ≤ E_disc"],
+        &[
+            "n tasks",
+            "LP rows",
+            "pivots",
+            "ms",
+            "max modes/task",
+            "adjacent",
+            "E_cont ≤ E_vdd ≤ E_disc",
+        ],
     );
     for &(layers, width) in &[(4usize, 3usize), (6, 4), (8, 5), (10, 6)] {
         let inst = workloads::layered_instance(layers, width, width, 1.6, 42);
         let aug = inst.augmented_dag();
         let n = aug.len();
         let t0 = Instant::now();
-        let sol = vdd::solve(aug, inst.deadline, &modes).expect("feasible");
+        let sol = bicrit::solve(&inst, &vdd_model, &opts).expect("feasible");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        let cont = continuous::solve_general(aug, inst.deadline, 1.0, 2.0, &BarrierOptions::default())
-            .expect("feasible");
+        let cont = bicrit::solve(&inst, &cont_model, &opts).expect("feasible");
         // Discrete upper bound: round the continuous speeds up.
         let model = SpeedModel::discrete(modes.clone());
         let e_disc: f64 = aug
             .weights()
             .iter()
-            .zip(&cont.speeds)
+            .zip(&cont.constant_speeds().expect("continuous is single-speed"))
             .map(|(w, &f)| {
                 let fr = model.round_up(f).expect("within range");
                 w * fr * fr
             })
             .sum();
-        let sandwich = cont.energy <= sol.energy * (1.0 + 1e-6)
-            && sol.energy <= e_disc * (1.0 + 1e-6);
+        let sandwich =
+            cont.energy <= sol.energy * (1.0 + 1e-6) && sol.energy <= e_disc * (1.0 + 1e-6);
         t.push(vec![
             n.to_string(),
             (n + aug.edge_count() + n).to_string(),
-            sol.pivots.to_string(),
+            sol.stats.lp_pivots.expect("VDD records pivots").to_string(),
             format!("{ms:.1}"),
             sol.max_modes_per_task().to_string(),
-            sol.speeds_adjacent(&modes).to_string(),
+            sol.speeds_adjacent().to_string(),
             sandwich.to_string(),
         ]);
     }
@@ -140,33 +158,37 @@ pub fn e03_vdd_lp() -> Vec<Table> {
 pub fn e04_discrete_exact() -> Vec<Table> {
     let mut t = Table::new(
         "E4a: exact DISCRETE B&B node growth (gadget instances, m = 2 modes)",
-        &["n tasks", "nodes (simple bound)", "nodes (VDD LP bound)", "ms (simple)"],
+        &[
+            "n tasks",
+            "nodes (simple bound)",
+            "nodes (VDD LP bound)",
+            "ms (simple)",
+        ],
     );
     for &n in &[6usize, 8, 10, 12, 14] {
         // Hard no-instances: odd total sum (never a perfect partition).
         let a: Vec<u64> = (0..n as u64).map(|i| 2 * i + 3).collect();
         let g = reductions::two_partition_gadget(&a).expect("valid gadget");
+        let model = SpeedModel::discrete(g.modes.clone());
         let t0 = Instant::now();
-        let simple = discrete::solve_bnb(
-            g.instance.augmented_dag(),
-            g.instance.deadline,
-            &g.modes,
-            discrete::BnbBound::Simple,
+        let simple = bicrit::solve(
+            &g.instance,
+            &model,
+            &SolveOptions::default().with_bnb_bound(BnbBound::Simple),
         )
         .expect("feasible");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        let lp = discrete::solve_bnb(
-            g.instance.augmented_dag(),
-            g.instance.deadline,
-            &g.modes,
-            discrete::BnbBound::VddRelaxation,
+        let lp = bicrit::solve(
+            &g.instance,
+            &model,
+            &SolveOptions::default().with_bnb_bound(BnbBound::VddRelaxation),
         )
         .expect("feasible");
         assert!((simple.energy - lp.energy).abs() < 1e-6 * simple.energy);
         t.push(vec![
             n.to_string(),
-            simple.nodes.to_string(),
-            lp.nodes.to_string(),
+            simple.stats.bnb_nodes.expect("nodes recorded").to_string(),
+            lp.stats.bnb_nodes.expect("nodes recorded").to_string(),
             format!("{ms:.2}"),
         ]);
     }
@@ -184,11 +206,10 @@ pub fn e04_discrete_exact() -> Vec<Table> {
     ];
     for (label, a, truth) in cases {
         let g = reductions::two_partition_gadget(a).expect("valid gadget");
-        let opt = discrete::solve_bnb(
-            g.instance.augmented_dag(),
-            g.instance.deadline,
-            &g.modes,
-            discrete::BnbBound::Simple,
+        let opt = bicrit::solve(
+            &g.instance,
+            &SpeedModel::discrete(g.modes.clone()),
+            &SolveOptions::default().with_bnb_bound(BnbBound::Simple),
         )
         .expect("feasible")
         .energy;
@@ -210,22 +231,33 @@ pub fn e04_discrete_exact() -> Vec<Table> {
 pub fn e05_incremental_approx() -> Vec<Table> {
     let mut t = Table::new(
         "E5: INCREMENTAL rounding — measured ratio vs (1+δ/fmin)²(1+1/K)²",
-        &["δ", "K", "E_inc", "continuous LB", "ratio", "proven bound", "within"],
+        &[
+            "δ",
+            "K",
+            "E_inc",
+            "continuous LB",
+            "ratio",
+            "proven bound",
+            "within",
+        ],
     );
     let inst = workloads::layered_instance(5, 3, 3, 1.7, 7);
     for &delta in &[0.5, 0.25, 0.1, 0.05] {
+        let model = SpeedModel::incremental(1.0, 2.0, delta);
         for &k in &[1usize, 10, 100] {
-            let s = incremental::solve(inst.augmented_dag(), inst.deadline, 1.0, 2.0, delta, k)
+            let s = bicrit::solve(&inst, &model, &SolveOptions::default().with_accuracy_k(k))
                 .expect("feasible");
-            let ok = s.ratio <= s.proven_factor + 1e-9;
-            assert!(ok, "δ={delta} K={k}: ratio {} > bound {}", s.ratio, s.proven_factor);
+            let ratio = s.stats.approx_ratio.expect("measured ratio");
+            let bound = s.stats.proven_factor.expect("proven factor");
+            let ok = ratio <= bound + 1e-9;
+            assert!(ok, "δ={delta} K={k}: ratio {ratio} > bound {bound}");
             t.push(vec![
                 fmt_f(delta),
                 k.to_string(),
                 fmt_f(s.energy),
-                fmt_f(s.lower_bound),
-                format!("{:.4}", s.ratio),
-                format!("{:.4}", s.proven_factor),
+                fmt_f(s.lower_bound.expect("continuous LB")),
+                format!("{ratio:.4}"),
+                format!("{bound:.4}"),
                 ok.to_string(),
             ]);
         }
@@ -421,17 +453,22 @@ pub fn e09_fault_injection() -> Vec<Table> {
             .collect(),
     };
 
-    let target_worst = w
-        .iter()
-        .map(|&wi| rel.target(wi))
-        .fold(0.0f64, f64::max);
+    let target_worst = w.iter().map(|&wi| rel.target(wi)).fold(0.0f64, f64::max);
 
     let mut t = Table::new(
         format!(
             "E9a: Monte-Carlo fault injection ({runs} runs, hot λ₀; worst per-task budget {:.4})",
             target_worst
         ),
-        &["schedule", "E worst case", "E actual (mean)", "worst task fail rate", "analytic worst p", "meets constraint", "app success"],
+        &[
+            "schedule",
+            "E worst case",
+            "E actual (mean)",
+            "worst task fail rate",
+            "analytic worst p",
+            "meets constraint",
+            "app success",
+        ],
     );
     for (label, sched) in [
         ("single @ frel (baseline)", &baseline),
@@ -463,7 +500,14 @@ pub fn e09_fault_injection() -> Vec<Table> {
     let rel_std = workloads::standard_reliability();
     let mut t2 = Table::new(
         "E9b: energy under the standard model (λ₀ = 10⁻⁵): re-execution pays off",
-        &["deadline mult", "E baseline@frel", "E TRI-CRIT", "saving %", "#re-exec", "constraint"],
+        &[
+            "deadline mult",
+            "E baseline@frel",
+            "E TRI-CRIT",
+            "saving %",
+            "#re-exec",
+            "constraint",
+        ],
     );
     for &mult in &[1.2, 2.0, 3.2, 5.0] {
         let d = mult * w.iter().sum::<f64>() / rel_std.fmax;
@@ -495,7 +539,13 @@ pub fn e10_vdd_adaptation() -> Vec<Table> {
 
     let mut t = Table::new(
         "E10: VDD-HOPPING adaptation of the continuous TRI-CRIT solution",
-        &["modes m", "E continuous", "E adapted", "loss factor", "constraints kept"],
+        &[
+            "modes m",
+            "E continuous",
+            "E adapted",
+            "loss factor",
+            "constraints kept",
+        ],
     );
     for &m in &[2usize, 3, 5, 9, 17] {
         let model = SpeedModel::vdd_hopping(workloads::standard_modes(m));

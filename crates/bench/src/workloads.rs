@@ -63,8 +63,14 @@ pub fn layered_instance(
 pub fn e8_families(deadline_mult: f64, seed: u64) -> Vec<(&'static str, Instance)> {
     vec![
         ("chain", chain_instance(24, deadline_mult, seed)),
-        ("layered w=2", layered_instance(12, 2, 2, deadline_mult, seed)),
-        ("layered w=6", layered_instance(4, 6, 6, deadline_mult, seed)),
+        (
+            "layered w=2",
+            layered_instance(12, 2, 2, deadline_mult, seed),
+        ),
+        (
+            "layered w=6",
+            layered_instance(4, 6, 6, deadline_mult, seed),
+        ),
         ("fork", fork_instance(23, deadline_mult, seed)),
     ]
 }

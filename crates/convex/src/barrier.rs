@@ -48,7 +48,10 @@ impl BarrierOptions {
     /// factor `(1 + δ/f_min)²·(1 + 1/K)²` (experiment E5).
     pub fn with_accuracy_k(k: usize) -> Self {
         let k = k.max(1) as f64;
-        BarrierOptions { tol: 1.0 / k, ..Self::default() }
+        BarrierOptions {
+            tol: 1.0 / k,
+            ..Self::default()
+        }
     }
 }
 
@@ -80,7 +83,10 @@ impl std::fmt::Display for ConvexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConvexError::NotStrictlyFeasible { row, slack } => {
-                write!(f, "start not strictly feasible: row {row} slack {slack:.3e}")
+                write!(
+                    f,
+                    "start not strictly feasible: row {row} slack {slack:.3e}"
+                )
             }
             ConvexError::DimensionMismatch => write!(f, "dimension mismatch"),
             ConvexError::Numerical => write!(f, "numerical failure in Newton solve"),
@@ -114,7 +120,12 @@ pub fn solve(
         let mut x = x0.to_vec();
         let steps = newton_centre(obj, cons, &mut x, 1.0, opts)?;
         let objective = obj.value(&x);
-        return Ok(ConvexSolution { x, objective, gap: 0.0, newton_steps: steps });
+        return Ok(ConvexSolution {
+            x,
+            objective,
+            gap: 0.0,
+            newton_steps: steps,
+        });
     }
 
     let mut x = x0.to_vec();
@@ -125,7 +136,12 @@ pub fn solve(
         let gap = m as f64 / t;
         if gap <= opts.tol {
             let objective = obj.value(&x);
-            return Ok(ConvexSolution { x, objective, gap, newton_steps: total_steps });
+            return Ok(ConvexSolution {
+                x,
+                objective,
+                gap,
+                newton_steps: total_steps,
+            });
         }
         t *= opts.mu;
     }
@@ -219,7 +235,11 @@ fn newton_centre(
         let mut alpha = 1.0;
         let mut accepted = false;
         for _ in 0..60 {
-            let trial: Vec<f64> = x.iter().zip(&step).map(|(xi, si)| xi + alpha * si).collect();
+            let trial: Vec<f64> = x
+                .iter()
+                .zip(&step)
+                .map(|(xi, si)| xi + alpha * si)
+                .collect();
             let mt = merit(obj, cons, &trial, t);
             if mt <= m0 - opts.ls_alpha * alpha * lambda2 {
                 *x = trial;
@@ -243,13 +263,19 @@ mod tests {
     use crate::problem::{Quadratic, SeparablePower};
 
     fn assert_close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0), "{a} vs {b}");
+        assert!(
+            (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0),
+            "{a} vs {b}"
+        );
     }
 
     #[test]
     fn quadratic_hits_active_bound() {
         // min (x−3)² s.t. x ≤ 1  ⇒  x* = 1.
-        let obj = Quadratic { q: vec![2.0], c: vec![3.0] };
+        let obj = Quadratic {
+            q: vec![2.0],
+            c: vec![3.0],
+        };
         let cons = LinearConstraints::from_rows(1, &[(vec![(0, 1.0)], 1.0)]);
         let sol = solve(&obj, &cons, &[0.0], &BarrierOptions::default()).unwrap();
         assert_close(sol.x[0], 1.0, 1e-5);
@@ -257,7 +283,10 @@ mod tests {
 
     #[test]
     fn unconstrained_newton() {
-        let obj = Quadratic { q: vec![1.0, 4.0], c: vec![2.0, -1.0] };
+        let obj = Quadratic {
+            q: vec![1.0, 4.0],
+            c: vec![2.0, -1.0],
+        };
         let cons = LinearConstraints::new(2);
         let sol = solve(&obj, &cons, &[0.0, 0.0], &BarrierOptions::default()).unwrap();
         assert_close(sol.x[0], 2.0, 1e-6);
@@ -270,7 +299,14 @@ mod tests {
         // E* = (Σw)³/D².
         let w = [1.0f64, 2.0, 3.0];
         let d_total = 2.0;
-        let obj = SeparablePower::new(3, w.iter().enumerate().map(|(i, wi)| (i, wi.powi(3))).collect(), 2.0);
+        let obj = SeparablePower::new(
+            3,
+            w.iter()
+                .enumerate()
+                .map(|(i, wi)| (i, wi.powi(3)))
+                .collect(),
+            2.0,
+        );
         let mut rows = vec![(vec![(0, 1.0), (1, 1.0), (2, 1.0)], d_total)];
         for i in 0..3 {
             rows.push((vec![(i, -1.0)], -0.01)); // d_i ≥ 0.01
@@ -287,7 +323,10 @@ mod tests {
 
     #[test]
     fn rejects_infeasible_start() {
-        let obj = Quadratic { q: vec![1.0], c: vec![0.0] };
+        let obj = Quadratic {
+            q: vec![1.0],
+            c: vec![0.0],
+        };
         let cons = LinearConstraints::from_rows(1, &[(vec![(0, 1.0)], 1.0)]);
         let err = solve(&obj, &cons, &[2.0], &BarrierOptions::default()).unwrap_err();
         assert!(matches!(err, ConvexError::NotStrictlyFeasible { .. }));
@@ -295,7 +334,10 @@ mod tests {
 
     #[test]
     fn rejects_dimension_mismatch() {
-        let obj = Quadratic { q: vec![1.0], c: vec![0.0] };
+        let obj = Quadratic {
+            q: vec![1.0],
+            c: vec![0.0],
+        };
         let cons = LinearConstraints::new(2);
         assert_eq!(
             solve(&obj, &cons, &[0.0], &BarrierOptions::default()).unwrap_err(),
@@ -305,12 +347,31 @@ mod tests {
 
     #[test]
     fn gap_certificate_shrinks_with_tolerance() {
-        let obj = Quadratic { q: vec![2.0], c: vec![3.0] };
+        let obj = Quadratic {
+            q: vec![2.0],
+            c: vec![3.0],
+        };
         let cons = LinearConstraints::from_rows(1, &[(vec![(0, 1.0)], 1.0)]);
-        let loose = solve(&obj, &cons, &[0.0], &BarrierOptions { tol: 1e-2, ..Default::default() })
-            .unwrap();
-        let tight = solve(&obj, &cons, &[0.0], &BarrierOptions { tol: 1e-9, ..Default::default() })
-            .unwrap();
+        let loose = solve(
+            &obj,
+            &cons,
+            &[0.0],
+            &BarrierOptions {
+                tol: 1e-2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let tight = solve(
+            &obj,
+            &cons,
+            &[0.0],
+            &BarrierOptions {
+                tol: 1e-9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(tight.gap < loose.gap);
         assert!(tight.gap <= 1e-9);
     }

@@ -122,7 +122,10 @@ pub struct LinearConstraints {
 impl LinearConstraints {
     /// Builds an empty constraint set over `dim` variables.
     pub fn new(dim: usize) -> Self {
-        LinearConstraints { a: Matrix::zeros(0, dim), b: Vec::new() }
+        LinearConstraints {
+            a: Matrix::zeros(0, dim),
+            b: Vec::new(),
+        }
     }
 
     /// Builds from sparse rows: each row is `Σ coeffs·x ≤ rhs`.
@@ -172,7 +175,9 @@ impl LinearConstraints {
 
     /// Worst violation (≤ 0 means feasible).
     pub fn max_violation(&self, x: &[f64]) -> f64 {
-        self.slacks(x).into_iter().fold(f64::NEG_INFINITY, |m, s| m.max(-s))
+        self.slacks(x)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, |m, s| m.max(-s))
     }
 }
 
@@ -202,7 +207,10 @@ mod tests {
 
     #[test]
     fn quadratic_derivatives() {
-        let f = Quadratic { q: vec![2.0], c: vec![3.0] };
+        let f = Quadratic {
+            q: vec![2.0],
+            c: vec![3.0],
+        };
         assert!((f.value(&[5.0]) - 4.0).abs() < 1e-12);
         let mut g = [0.0];
         f.gradient(&[5.0], &mut g);

@@ -7,12 +7,16 @@
 //! * General DAGs: the geometric program of the paper, solved in duration
 //!   space as a separable convex program by `ea-convex`
 //!   ([`solve_general`]).
-//! * [`solve`] on an [`Instance`] picks the SP fast path when the
-//!   augmented DAG is series-parallel and the closed form stays inside
-//!   `[f_min, f_max]`, and falls back to the convex solver otherwise.
+//! * [`solve`] on an [`Instance`] + [`SpeedModel::Continuous`] picks the
+//!   SP fast path when the augmented DAG is series-parallel and the closed
+//!   form stays inside `[f_min, f_max]`, and falls back to the convex
+//!   solver otherwise. It is the CONTINUOUS arm of the
+//!   [`crate::bicrit::solve`] dispatcher.
 
+use super::SolveOptions;
 use crate::error::CoreError;
 use crate::instance::Instance;
+use crate::speed::SpeedModel;
 use ea_convex::{BarrierOptions, LinearConstraints, SeparablePower};
 use ea_taskgraph::{analysis, Dag, SpTree};
 
@@ -40,7 +44,10 @@ pub fn chain_optimal(
     let total: f64 = weights.iter().sum();
     let f_needed = total / deadline;
     if f_needed > fmax * (1.0 + 1e-12) {
-        return Err(CoreError::InfeasibleDeadline { required: total / fmax, deadline });
+        return Err(CoreError::InfeasibleDeadline {
+            required: total / fmax,
+            deadline,
+        });
     }
     let f = f_needed.max(fmin);
     let energy = total * f * f;
@@ -120,7 +127,11 @@ pub fn fork_theorem(
     } else {
         energy
     };
-    Ok(ContinuousSolution { speeds, energy, lower_bound })
+    Ok(ContinuousSolution {
+        speeds,
+        energy,
+        lower_bound,
+    })
 }
 
 fn energy_of(w0: f64, branch_weights: &[f64], speeds: &[f64]) -> f64 {
@@ -186,13 +197,20 @@ pub fn solve_general(
 ) -> Result<ContinuousSolution, CoreError> {
     let n = aug.len();
     if n == 0 {
-        return Ok(ContinuousSolution { speeds: vec![], energy: 0.0, lower_bound: 0.0 });
+        return Ok(ContinuousSolution {
+            speeds: vec![],
+            energy: 0.0,
+            lower_bound: 0.0,
+        });
     }
     let w = aug.weights();
     let dur_fmax: Vec<f64> = w.iter().map(|wi| wi / fmax).collect();
     let m_fmax = analysis::critical_path_length(aug, &dur_fmax);
     if m_fmax > deadline * (1.0 + 1e-9) {
-        return Err(CoreError::InfeasibleDeadline { required: m_fmax, deadline });
+        return Err(CoreError::InfeasibleDeadline {
+            required: m_fmax,
+            deadline,
+        });
     }
     // No interior (deadline exactly the fmax makespan) or no speed freedom:
     // the all-fmax schedule is forced/optimal.
@@ -221,11 +239,7 @@ pub fn solve_general(
         rows.push((vec![(dvar(i), -1.0)], -w[i] / fmax)); // d ≥ w/fmax
     }
     let cons = LinearConstraints::from_rows(dim, &rows);
-    let obj = SeparablePower::new(
-        dim,
-        (0..n).map(|i| (dvar(i), w[i].powi(3))).collect(),
-        2.0,
-    );
+    let obj = SeparablePower::new(dim, (0..n).map(|i| (dvar(i), w[i].powi(3))).collect(), 2.0);
 
     // Strictly feasible start: scale the all-fmax durations by
     // σ ∈ (1, min(D/M, fmax/fmin)) and pad start times.
@@ -252,13 +266,36 @@ pub fn solve_general(
         speeds.push(f);
     }
     let lower_bound = (sol.objective - sol.gap).max(0.0);
-    Ok(ContinuousSolution { speeds, energy, lower_bound })
+    Ok(ContinuousSolution {
+        speeds,
+        energy,
+        lower_bound,
+    })
 }
 
 /// Solves CONTINUOUS BI-CRIT on an [`Instance`]: tries the exact SP fast
 /// path (when the augmented DAG is series-parallel and the closed form
 /// stays strictly inside the speed box), otherwise runs the convex solver.
+///
+/// `model` must be [`SpeedModel::Continuous`]; other variants are routed
+/// by [`crate::bicrit::solve`].
 pub fn solve(
+    inst: &Instance,
+    model: &SpeedModel,
+    opts: &SolveOptions,
+) -> Result<ContinuousSolution, CoreError> {
+    let SpeedModel::Continuous { fmin, fmax } = *model else {
+        return Err(CoreError::ModelMismatch {
+            expected: "CONTINUOUS",
+            got: format!("{model:?}"),
+        });
+    };
+    solve_in_box(inst, fmin, fmax, &opts.barrier)
+}
+
+/// [`solve`] with an explicit speed box, for callers that derive the
+/// bounds from something other than a [`SpeedModel`].
+pub fn solve_in_box(
     inst: &Instance,
     fmin: f64,
     fmax: f64,
@@ -267,13 +304,19 @@ pub fn solve(
     let aug = inst.augmented_dag();
     if let Ok(tree) = SpTree::from_dag(aug) {
         let (pairs, energy) = sp_optimal(&tree, inst.deadline);
-        let in_box = pairs.iter().all(|&(_, f)| f >= fmin && f <= fmax * (1.0 + 1e-12));
+        let in_box = pairs
+            .iter()
+            .all(|&(_, f)| f >= fmin && f <= fmax * (1.0 + 1e-12));
         if in_box {
             let mut speeds = vec![0.0; aug.len()];
             for (t, f) in pairs {
                 speeds[t] = f.min(fmax);
             }
-            return Ok(ContinuousSolution { speeds, energy, lower_bound: energy });
+            return Ok(ContinuousSolution {
+                speeds,
+                energy,
+                lower_bound: energy,
+            });
         }
     }
     solve_general(aug, inst.deadline, fmin, fmax, opts)
@@ -364,8 +407,14 @@ mod tests {
         let d = 10.0;
         let inst = Instance::fork(w0, &ws, d).unwrap();
         let theorem = fork_theorem(w0, &ws, d, 0.01, 100.0).unwrap();
-        let num = solve_general(inst.augmented_dag(), d, 0.01, 100.0, &BarrierOptions::default())
-            .unwrap();
+        let num = solve_general(
+            inst.augmented_dag(),
+            d,
+            0.01,
+            100.0,
+            &BarrierOptions::default(),
+        )
+        .unwrap();
         assert_close(num.energy, theorem.energy, 1e-3);
     }
 
@@ -375,8 +424,14 @@ mod tests {
         let d = 4.0;
         let inst = Instance::single_chain(&ws, d).unwrap();
         let closed = chain_optimal(&ws, d, 0.01, 100.0).unwrap();
-        let num = solve_general(inst.augmented_dag(), d, 0.01, 100.0, &BarrierOptions::default())
-            .unwrap();
+        let num = solve_general(
+            inst.augmented_dag(),
+            d,
+            0.01,
+            100.0,
+            &BarrierOptions::default(),
+        )
+        .unwrap();
         assert_close(num.energy, closed.energy, 1e-3);
     }
 
@@ -385,8 +440,14 @@ mod tests {
         // Deadline exactly at the fmax makespan: forced all-fmax schedule.
         let ws = [2.0, 2.0];
         let inst = Instance::single_chain(&ws, 2.0).unwrap();
-        let s = solve_general(inst.augmented_dag(), 2.0, 0.5, 2.0, &BarrierOptions::default())
-            .unwrap();
+        let s = solve_general(
+            inst.augmented_dag(),
+            2.0,
+            0.5,
+            2.0,
+            &BarrierOptions::default(),
+        )
+        .unwrap();
         assert_close(s.speeds[0], 2.0, 1e-9);
         assert_close(s.energy, 16.0, 1e-9);
     }
@@ -395,7 +456,13 @@ mod tests {
     fn convex_infeasible_deadline() {
         let inst = Instance::single_chain(&[4.0], 1.0).unwrap();
         assert!(matches!(
-            solve_general(inst.augmented_dag(), 1.0, 0.5, 2.0, &BarrierOptions::default()),
+            solve_general(
+                inst.augmented_dag(),
+                1.0,
+                0.5,
+                2.0,
+                &BarrierOptions::default()
+            ),
             Err(CoreError::InfeasibleDeadline { .. })
         ));
     }
@@ -403,7 +470,8 @@ mod tests {
     #[test]
     fn instance_solve_uses_sp_fast_path() {
         let inst = Instance::fork(2.0, &[1.0, 3.0, 2.0], 10.0).unwrap();
-        let s = solve(&inst, 1e-6, 100.0, &BarrierOptions::default()).unwrap();
+        let model = crate::speed::SpeedModel::continuous(1e-6, 100.0);
+        let s = solve(&inst, &model, &SolveOptions::default()).unwrap();
         let theorem = fork_theorem(2.0, &[1.0, 3.0, 2.0], 10.0, 1e-6, 100.0).unwrap();
         assert_close(s.energy, theorem.energy, 1e-9);
         assert_close(s.lower_bound, s.energy, 1e-9); // exact path
@@ -412,19 +480,13 @@ mod tests {
     #[test]
     fn instance_solve_falls_back_on_non_sp() {
         // The "N" DAG on two processors is not SP.
-        let dag = ea_taskgraph::Dag::from_parts(
-            vec![1.0, 1.0, 1.0, 1.0],
-            [(0, 2), (0, 3), (1, 3)],
-        )
-        .unwrap();
-        let mapping = crate::platform::Mapping::new(
-            vec![0, 1, 0, 1],
-            vec![vec![0, 2], vec![1, 3]],
-        )
-        .unwrap();
-        let inst =
-            Instance::new(dag, crate::platform::Platform::new(2), mapping, 8.0).unwrap();
-        let s = solve(&inst, 0.05, 10.0, &BarrierOptions::default()).unwrap();
+        let dag = ea_taskgraph::Dag::from_parts(vec![1.0, 1.0, 1.0, 1.0], [(0, 2), (0, 3), (1, 3)])
+            .unwrap();
+        let mapping =
+            crate::platform::Mapping::new(vec![0, 1, 0, 1], vec![vec![0, 2], vec![1, 3]]).unwrap();
+        let inst = Instance::new(dag, crate::platform::Platform::new(2), mapping, 8.0).unwrap();
+        let model = crate::speed::SpeedModel::continuous(0.05, 10.0);
+        let s = solve(&inst, &model, &SolveOptions::default()).unwrap();
         // Sanity: deadline met, energy strictly below all-fmax.
         let sched = crate::schedule::Schedule::from_speeds(&s.speeds);
         let ms = sched.makespan(&inst.dag, &inst.mapping).unwrap();
@@ -439,8 +501,7 @@ mod tests {
             let dag = tree.to_dag();
             let d = 3.0 * analysis::critical_path_length(&dag, dag.weights());
             let (_, e_closed) = sp_optimal(&tree, d);
-            let num =
-                solve_general(&dag, d, 1e-4, 1e4, &BarrierOptions::default()).unwrap();
+            let num = solve_general(&dag, d, 1e-4, 1e4, &BarrierOptions::default()).unwrap();
             assert_close(num.energy, e_closed, 5e-3);
         }
     }

@@ -15,7 +15,10 @@
 //!   the algorithmic face of the 2-PARTITION reduction
 //!   (`crate::reductions`).
 
+use super::SolveOptions;
 use crate::error::CoreError;
+use crate::instance::Instance;
+use crate::speed::SpeedModel;
 use ea_lp::{Cmp, LpOutcome, LpProblem};
 use ea_taskgraph::{analysis, Dag};
 
@@ -41,6 +44,26 @@ pub enum BnbBound {
     VddRelaxation,
 }
 
+/// Solves DISCRETE BI-CRIT exactly on an [`Instance`], using the
+/// branch-and-bound with the bound strategy from
+/// [`SolveOptions::bnb_bound`].
+///
+/// `model` must be [`SpeedModel::Discrete`]; other variants are routed by
+/// [`crate::bicrit::solve`].
+pub fn solve(
+    inst: &Instance,
+    model: &SpeedModel,
+    opts: &SolveOptions,
+) -> Result<DiscreteSolution, CoreError> {
+    let SpeedModel::Discrete { modes } = model else {
+        return Err(CoreError::ModelMismatch {
+            expected: "DISCRETE",
+            got: format!("{model:?}"),
+        });
+    };
+    solve_bnb(inst.augmented_dag(), inst.deadline, modes, opts.bnb_bound)
+}
+
 /// Exact branch-and-bound over per-task modes on the augmented DAG.
 pub fn solve_bnb(
     aug: &Dag,
@@ -58,7 +81,10 @@ pub fn solve_bnb(
     let dur_fmax: Vec<f64> = w.iter().map(|wi| wi / fmax).collect();
     let m_fmax = analysis::critical_path_length(aug, &dur_fmax);
     if m_fmax > deadline * (1.0 + 1e-9) {
-        return Err(CoreError::InfeasibleDeadline { required: m_fmax, deadline });
+        return Err(CoreError::InfeasibleDeadline {
+            required: m_fmax,
+            deadline,
+        });
     }
 
     // Branch order: heaviest tasks first (their mode choice moves the
@@ -99,7 +125,12 @@ pub fn solve_bnb(
     let energy = state.best_energy;
     let mode_of = state.best_modes;
     let speeds = mode_of.iter().map(|&k| modes[k]).collect();
-    Ok(DiscreteSolution { mode_of, speeds, energy, nodes: state.nodes })
+    Ok(DiscreteSolution {
+        mode_of,
+        speeds,
+        energy,
+        nodes: state.nodes,
+    })
 }
 
 struct Bnb<'a> {
@@ -175,8 +206,11 @@ impl Bnb<'_> {
         if unassigned.is_empty() {
             return 0.0;
         }
-        let col_of: std::collections::HashMap<usize, usize> =
-            unassigned.iter().enumerate().map(|(c, &t)| (t, c)).collect();
+        let col_of: std::collections::HashMap<usize, usize> = unassigned
+            .iter()
+            .enumerate()
+            .map(|(c, &t)| (t, c))
+            .collect();
         let alpha = |c: usize, k: usize| c * m + k;
         let bvar = |i: usize| unassigned.len() * m + i;
         let mut lp = LpProblem::new(unassigned.len() * m + n);
@@ -261,7 +295,12 @@ pub fn solve_exhaustive(
                     deadline,
                 })?;
                 let speeds = mode_of.iter().map(|&k| modes[k]).collect();
-                return Ok(DiscreteSolution { mode_of, speeds, energy, nodes });
+                return Ok(DiscreteSolution {
+                    mode_of,
+                    speeds,
+                    energy,
+                    nodes,
+                });
             }
             assignment[pos] += 1;
             if assignment[pos] < m {
@@ -341,7 +380,10 @@ mod tests {
     use ea_taskgraph::generators;
 
     fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0), "{a} vs {b}");
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
+            "{a} vs {b}"
+        );
     }
 
     #[test]
@@ -351,8 +393,7 @@ mod tests {
         let ex = solve_exhaustive(inst.augmented_dag(), 4.0, &modes).unwrap();
         let bb = solve_bnb(inst.augmented_dag(), 4.0, &modes, BnbBound::Simple).unwrap();
         assert_close(bb.energy, ex.energy);
-        let bb2 =
-            solve_bnb(inst.augmented_dag(), 4.0, &modes, BnbBound::VddRelaxation).unwrap();
+        let bb2 = solve_bnb(inst.augmented_dag(), 4.0, &modes, BnbBound::VddRelaxation).unwrap();
         assert_close(bb2.energy, ex.energy);
     }
 
@@ -378,13 +419,10 @@ mod tests {
 
     #[test]
     fn vdd_bound_prunes_harder() {
-        let inst =
-            Instance::single_chain(&[3.0, 1.0, 2.0, 2.5, 1.5, 0.5, 2.2, 1.1], 10.0).unwrap();
+        let inst = Instance::single_chain(&[3.0, 1.0, 2.0, 2.5, 1.5, 0.5, 2.2, 1.1], 10.0).unwrap();
         let modes = [0.5, 1.0, 1.5, 2.0];
-        let simple =
-            solve_bnb(inst.augmented_dag(), 10.0, &modes, BnbBound::Simple).unwrap();
-        let lp = solve_bnb(inst.augmented_dag(), 10.0, &modes, BnbBound::VddRelaxation)
-            .unwrap();
+        let simple = solve_bnb(inst.augmented_dag(), 10.0, &modes, BnbBound::Simple).unwrap();
+        let lp = solve_bnb(inst.augmented_dag(), 10.0, &modes, BnbBound::VddRelaxation).unwrap();
         assert_close(simple.energy, lp.energy);
         assert!(
             lp.nodes <= simple.nodes,
@@ -405,9 +443,8 @@ mod tests {
         // Model refinement ordering: VDD can mix, DISCRETE cannot.
         let inst = Instance::single_chain(&[3.0, 2.0], 3.0).unwrap();
         let modes = [1.0, 2.0];
-        let disc =
-            solve_bnb(inst.augmented_dag(), 3.0, &modes, BnbBound::Simple).unwrap();
-        let vdd = crate::bicrit::vdd::solve(inst.augmented_dag(), 3.0, &modes).unwrap();
+        let disc = solve_bnb(inst.augmented_dag(), 3.0, &modes, BnbBound::Simple).unwrap();
+        let vdd = crate::bicrit::vdd::solve_on_dag(inst.augmented_dag(), 3.0, &modes).unwrap();
         assert!(vdd.energy <= disc.energy * (1.0 + 1e-9));
     }
 
@@ -436,19 +473,22 @@ mod tests {
         let modes = [1.0, 2.0];
         let deadline = 8.0;
         let inst = Instance::single_chain(&weights, deadline).unwrap();
-        let bb =
-            solve_bnb(inst.augmented_dag(), deadline, &modes, BnbBound::Simple).unwrap();
+        let bb = solve_bnb(inst.augmented_dag(), deadline, &modes, BnbBound::Simple).unwrap();
         let scale = 2.0;
         let durations: Vec<Vec<u64>> = weights
             .iter()
-            .map(|w| modes.iter().map(|f| (w / f * scale).round() as u64).collect())
+            .map(|w| {
+                modes
+                    .iter()
+                    .map(|f| (w / f * scale).round() as u64)
+                    .collect()
+            })
             .collect();
         let energies: Vec<Vec<f64>> = weights
             .iter()
             .map(|w| modes.iter().map(|f| w * f * f).collect())
             .collect();
-        let (e, _) =
-            chain_dp_integral(&durations, &energies, (deadline * scale) as u64).unwrap();
+        let (e, _) = chain_dp_integral(&durations, &energies, (deadline * scale) as u64).unwrap();
         assert_close(e, bb.energy);
     }
 }

@@ -17,8 +17,9 @@
 //! measured ratio `energy / lower_bound` is a *certified* approximation
 //! factor, compared against the proven bound by experiment E5.
 
-use super::continuous;
+use super::{continuous, SolveOptions};
 use crate::error::CoreError;
+use crate::instance::Instance;
 use crate::speed::SpeedModel;
 use ea_convex::BarrierOptions;
 use ea_taskgraph::Dag;
@@ -38,11 +39,38 @@ pub struct IncrementalSolution {
     pub proven_factor: f64,
 }
 
-/// Runs the approximation on the augmented DAG.
+/// Runs the INCREMENTAL approximation on an [`Instance`], with accuracy
+/// `K` taken from [`SolveOptions::accuracy_k`].
+///
+/// `model` must be [`SpeedModel::Incremental`]; other variants are routed
+/// by [`crate::bicrit::solve`].
+pub fn solve(
+    inst: &Instance,
+    model: &SpeedModel,
+    opts: &SolveOptions,
+) -> Result<IncrementalSolution, CoreError> {
+    let SpeedModel::Incremental { fmin, fmax, delta } = *model else {
+        return Err(CoreError::ModelMismatch {
+            expected: "INCREMENTAL",
+            got: format!("{model:?}"),
+        });
+    };
+    solve_on_dag(
+        inst.augmented_dag(),
+        inst.deadline,
+        fmin,
+        fmax,
+        delta,
+        opts.accuracy_k,
+    )
+}
+
+/// The approximation on a bare augmented DAG (the algorithm core behind
+/// [`solve`]).
 ///
 /// `k` controls the accuracy of the continuous stage (relative `1/k`);
 /// higher is tighter and slower.
-pub fn solve(
+pub fn solve_on_dag(
     aug: &Dag,
     deadline: f64,
     fmin: f64,
@@ -57,7 +85,8 @@ pub fn solve(
     let f_grid_max = model.fmax();
 
     // Stage 1a: a rough solve to scale the accuracy target.
-    let rough = continuous::solve_general(aug, deadline, fmin, f_grid_max, &BarrierOptions::default())?;
+    let rough =
+        continuous::solve_general(aug, deadline, fmin, f_grid_max, &BarrierOptions::default())?;
     // Stage 1b: re-solve to relative accuracy 1/K (absolute gap E/K).
     let opts = BarrierOptions {
         tol: (rough.energy / k as f64).max(1e-12),
@@ -69,9 +98,9 @@ pub fn solve(
     let mut speeds = Vec::with_capacity(aug.len());
     let mut energy = 0.0;
     for (i, &f) in cont.speeds.iter().enumerate() {
-        let fr = model.round_up(f).ok_or_else(|| {
-            CoreError::Numerical(format!("rounding speed {f} exceeded the grid"))
-        })?;
+        let fr = model
+            .round_up(f)
+            .ok_or_else(|| CoreError::Numerical(format!("rounding speed {f} exceeded the grid")))?;
         energy += aug.weight(i) * fr * fr;
         speeds.push(fr);
     }
@@ -82,10 +111,19 @@ pub fn solve(
         // Forced all-fmax case: that energy is itself optimal.
         cont.energy
     };
-    let ratio = if lower_bound > 0.0 { energy / lower_bound } else { 1.0 };
-    let proven_factor =
-        (1.0 + delta / fmin).powi(2) * (1.0 + 1.0 / k as f64).powi(2);
-    Ok(IncrementalSolution { speeds, energy, lower_bound, ratio, proven_factor })
+    let ratio = if lower_bound > 0.0 {
+        energy / lower_bound
+    } else {
+        1.0
+    };
+    let proven_factor = (1.0 + delta / fmin).powi(2) * (1.0 + 1.0 / k as f64).powi(2);
+    Ok(IncrementalSolution {
+        speeds,
+        energy,
+        lower_bound,
+        ratio,
+        proven_factor,
+    })
 }
 
 #[cfg(test)]
@@ -97,7 +135,7 @@ mod tests {
     #[test]
     fn ratio_within_proven_factor_on_chain() {
         let inst = Instance::single_chain(&[1.0, 2.0, 3.0], 5.0).unwrap();
-        let s = solve(inst.augmented_dag(), 5.0, 0.5, 3.0, 0.25, 10).unwrap();
+        let s = solve_on_dag(inst.augmented_dag(), 5.0, 0.5, 3.0, 0.25, 10).unwrap();
         assert!(s.ratio >= 1.0 - 1e-9, "ratio {} below 1", s.ratio);
         assert!(
             s.ratio <= s.proven_factor + 1e-9,
@@ -111,7 +149,7 @@ mod tests {
     fn speeds_are_admissible_and_deadline_met() {
         let inst = Instance::fork(2.0, &[1.0, 3.0, 2.0], 8.0).unwrap();
         let (fmin, fmax, delta) = (0.5, 2.0, 0.2);
-        let s = solve(inst.augmented_dag(), 8.0, fmin, fmax, delta, 5).unwrap();
+        let s = solve_on_dag(inst.augmented_dag(), 8.0, fmin, fmax, delta, 5).unwrap();
         let model = SpeedModel::incremental(fmin, fmax, delta);
         for &f in &s.speeds {
             assert!(model.admissible(f), "speed {f} not on grid");
@@ -124,8 +162,8 @@ mod tests {
     #[test]
     fn finer_grid_tightens_the_ratio() {
         let inst = Instance::single_chain(&[1.0, 2.0, 1.5, 2.5], 10.0).unwrap();
-        let coarse = solve(inst.augmented_dag(), 10.0, 0.5, 2.0, 0.5, 20).unwrap();
-        let fine = solve(inst.augmented_dag(), 10.0, 0.5, 2.0, 0.05, 20).unwrap();
+        let coarse = solve_on_dag(inst.augmented_dag(), 10.0, 0.5, 2.0, 0.5, 20).unwrap();
+        let fine = solve_on_dag(inst.augmented_dag(), 10.0, 0.5, 2.0, 0.05, 20).unwrap();
         assert!(
             fine.energy <= coarse.energy * (1.0 + 1e-9),
             "finer grid should not cost more energy"
@@ -145,7 +183,7 @@ mod tests {
             )
             .unwrap();
             let d = 1.6 * inst.makespan_at_uniform_speed(2.0);
-            let s = solve(inst.augmented_dag(), d, 0.5, 2.0, 0.25, 8).unwrap();
+            let s = solve_on_dag(inst.augmented_dag(), d, 0.5, 2.0, 0.25, 8).unwrap();
             assert!(s.ratio <= s.proven_factor + 1e-6, "seed {seed}: {s:?}");
         }
     }
@@ -153,6 +191,6 @@ mod tests {
     #[test]
     fn infeasible_deadline_propagates() {
         let inst = Instance::single_chain(&[10.0], 1.0).unwrap();
-        assert!(solve(inst.augmented_dag(), 1.0, 0.5, 2.0, 0.25, 5).is_err());
+        assert!(solve_on_dag(inst.augmented_dag(), 1.0, 0.5, 2.0, 0.25, 5).is_err());
     }
 }

@@ -8,8 +8,427 @@
 //! | VDD-HOPPING  | polynomial (LP)       | [`vdd`]                          |
 //! | DISCRETE     | NP-complete           | [`discrete`] (exact B&B + DP)    |
 //! | INCREMENTAL  | NP-complete, approximable | [`incremental`]              |
+//!
+//! # The unified entry point
+//!
+//! Consumers should not pick a solver by hand: [`solve`] dispatches on the
+//! [`SpeedModel`] and returns a model-agnostic [`Solution`] — a per-task
+//! [`SpeedProfile`], the energy, the achieved worst-case makespan, a lower
+//! bound when one is certified, and per-solver [`SolveStats`]. All stray
+//! solver knobs (barrier tolerances, the branch-and-bound bound, the
+//! INCREMENTAL accuracy `K`) live in [`SolveOptions`], whose defaults are
+//! paper-faithful.
+//!
+//! ```no_run
+//! use ea_core::bicrit::{self, SolveOptions};
+//! use ea_core::speed::SpeedModel;
+//! use ea_core::Instance;
+//!
+//! let inst = Instance::single_chain(&[1.0, 2.0, 3.0], 5.0).unwrap();
+//! let model = SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]);
+//! let sol = bicrit::solve(&inst, &model, &SolveOptions::default()).unwrap();
+//! println!("E = {}, makespan = {}", sol.energy, sol.makespan);
+//! let schedule = sol.to_schedule();
+//! ```
 
 pub mod continuous;
 pub mod discrete;
 pub mod incremental;
 pub mod vdd;
+
+pub use discrete::BnbBound;
+
+use crate::error::CoreError;
+use crate::instance::Instance;
+use crate::schedule::{ExecSpec, Schedule, TaskSchedule};
+use crate::speed::SpeedModel;
+use ea_convex::BarrierOptions;
+use ea_taskgraph::analysis;
+use serde::{Deserialize, Serialize};
+
+/// Solver knobs shared by every BI-CRIT model, with paper-faithful
+/// defaults. Construct with `SolveOptions::default()` and override the
+/// fields you care about (or use the `with_*` helpers).
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Log-barrier tolerances for the CONTINUOUS convex program (also the
+    /// stage-1 solve of the INCREMENTAL approximation).
+    pub barrier: BarrierOptions,
+    /// Bound strategy of the DISCRETE branch-and-bound. The VDD-hopping LP
+    /// relaxation (the default) prunes far harder than the simple bound.
+    pub bnb_bound: BnbBound,
+    /// Accuracy knob `K` of the INCREMENTAL approximation: the continuous
+    /// stage is solved to relative accuracy `1/K`, contributing the
+    /// `(1 + 1/K)²` term of the proven factor.
+    pub accuracy_k: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            barrier: BarrierOptions::default(),
+            bnb_bound: BnbBound::VddRelaxation,
+            accuracy_k: 50,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Overrides the DISCRETE branch-and-bound bound strategy.
+    pub fn with_bnb_bound(mut self, bound: BnbBound) -> Self {
+        self.bnb_bound = bound;
+        self
+    }
+
+    /// Overrides the INCREMENTAL accuracy knob `K` (clamped to ≥ 1).
+    pub fn with_accuracy_k(mut self, k: usize) -> Self {
+        self.accuracy_k = k.max(1);
+        self
+    }
+
+    /// Overrides the convex-solver (barrier) options.
+    pub fn with_barrier(mut self, barrier: BarrierOptions) -> Self {
+        self.barrier = barrier;
+        self
+    }
+}
+
+/// How one task runs in a [`Solution`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpeedProfile {
+    /// A single constant speed for the whole execution.
+    Constant(f64),
+    /// VDD-hopping `(speed, time)` segments in execution order.
+    Segments(Vec<(f64, f64)>),
+}
+
+impl SpeedProfile {
+    /// The execution spec this profile denotes.
+    pub fn to_exec(&self) -> ExecSpec {
+        match self {
+            SpeedProfile::Constant(f) => ExecSpec::at(*f),
+            SpeedProfile::Segments(segs) => ExecSpec::Vdd {
+                segments: segs.clone(),
+            },
+        }
+    }
+
+    /// The constant speed, if the profile is single-speed.
+    pub fn constant(&self) -> Option<f64> {
+        match self {
+            SpeedProfile::Constant(f) => Some(*f),
+            SpeedProfile::Segments(_) => None,
+        }
+    }
+}
+
+/// Per-solver diagnostics carried alongside a [`Solution`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Branch-and-bound search-tree nodes explored (DISCRETE).
+    pub bnb_nodes: Option<usize>,
+    /// Simplex pivots of the LP (VDD-HOPPING).
+    pub lp_pivots: Option<usize>,
+    /// Measured approximation ratio `energy / lower_bound` (INCREMENTAL).
+    pub approx_ratio: Option<f64>,
+    /// The proven factor `(1+δ/f_min)²·(1+1/K)²` (INCREMENTAL).
+    pub proven_factor: Option<f64>,
+}
+
+/// A model-agnostic BI-CRIT solution, as returned by [`solve`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// The speed model the solution is admissible under.
+    pub model: SpeedModel,
+    /// Per-task speed profile, indexed by task id.
+    pub profiles: Vec<SpeedProfile>,
+    /// Total dynamic energy `Σ E_i`.
+    pub energy: f64,
+    /// Achieved worst-case makespan on the instance (≤ its deadline).
+    pub makespan: f64,
+    /// Certified lower bound on the optimal energy, when the solver
+    /// produces one (CONTINUOUS and INCREMENTAL; `None` for the exact
+    /// DISCRETE/VDD optima, where `energy` itself is optimal).
+    pub lower_bound: Option<f64>,
+    /// Per-solver diagnostics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Converts the per-task profiles into a [`Schedule`] (one execution
+    /// per task; TRI-CRIT re-execution is layered on top separately).
+    pub fn to_schedule(&self) -> Schedule {
+        Schedule {
+            tasks: self
+                .profiles
+                .iter()
+                .map(|p| TaskSchedule {
+                    executions: vec![p.to_exec()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Per-task constant speeds, if every profile is single-speed
+    /// (always true for CONTINUOUS / DISCRETE / INCREMENTAL solutions).
+    pub fn constant_speeds(&self) -> Option<Vec<f64>> {
+        self.profiles.iter().map(SpeedProfile::constant).collect()
+    }
+
+    /// Largest number of distinct speeds any single task uses (1 for
+    /// constant profiles; the VDD-hopping LP's classical property bounds
+    /// it by 2).
+    pub fn max_modes_per_task(&self) -> usize {
+        self.profiles
+            .iter()
+            .map(|p| match p {
+                SpeedProfile::Constant(_) => 1,
+                SpeedProfile::Segments(segs) => segs.len(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True if every multi-speed task mixes only *adjacent* modes of the
+    /// solution's model (vacuously true for constant profiles or a
+    /// mode-less model).
+    pub fn speeds_adjacent(&self) -> bool {
+        let Some(modes) = self.model.modes() else {
+            return true;
+        };
+        let index_of = |f: f64| {
+            modes
+                .iter()
+                .position(|&m| (m - f).abs() <= 1e-9 * m.max(1.0))
+        };
+        self.profiles.iter().all(|p| match p {
+            SpeedProfile::Constant(_) => true,
+            SpeedProfile::Segments(segs) => {
+                let mut idx: Vec<usize> = match segs
+                    .iter()
+                    .map(|&(f, _)| index_of(f))
+                    .collect::<Option<Vec<_>>>()
+                {
+                    Some(v) => v,
+                    None => return false, // a segment speed off the mode set
+                };
+                idx.sort_unstable();
+                idx.windows(2).all(|w| w[1] - w[0] == 1)
+            }
+        })
+    }
+
+    fn from_speeds(
+        inst: &Instance,
+        model: &SpeedModel,
+        speeds: &[f64],
+        energy: f64,
+        lower_bound: Option<f64>,
+        stats: SolveStats,
+    ) -> Self {
+        let profiles: Vec<SpeedProfile> =
+            speeds.iter().map(|&f| SpeedProfile::Constant(f)).collect();
+        let durations: Vec<f64> = speeds
+            .iter()
+            .zip(inst.dag.weights())
+            .map(|(&f, &w)| w / f)
+            .collect();
+        let makespan = analysis::critical_path_length(inst.augmented_dag(), &durations);
+        Solution {
+            model: model.clone(),
+            profiles,
+            energy,
+            makespan,
+            lower_bound,
+            stats,
+        }
+    }
+}
+
+/// Solves BI-CRIT on `inst` under `model`, dispatching to the per-model
+/// solver:
+///
+/// * [`SpeedModel::Continuous`] → [`continuous::solve`] (SP fast path,
+///   convex program otherwise);
+/// * [`SpeedModel::VddHopping`] → [`vdd::solve`] (the polynomial LP);
+/// * [`SpeedModel::Discrete`] → [`discrete::solve`] (exact B&B, bound per
+///   [`SolveOptions::bnb_bound`]);
+/// * [`SpeedModel::Incremental`] → [`incremental::solve`] (the rounding
+///   approximation with accuracy [`SolveOptions::accuracy_k`]).
+///
+/// Returns [`CoreError::InfeasibleDeadline`] when even `f_max` cannot meet
+/// the deadline.
+pub fn solve(
+    inst: &Instance,
+    model: &SpeedModel,
+    opts: &SolveOptions,
+) -> Result<Solution, CoreError> {
+    match model {
+        SpeedModel::Continuous { .. } => {
+            let s = continuous::solve(inst, model, opts)?;
+            Ok(Solution::from_speeds(
+                inst,
+                model,
+                &s.speeds,
+                s.energy,
+                Some(s.lower_bound),
+                SolveStats::default(),
+            ))
+        }
+        SpeedModel::VddHopping { .. } => {
+            let s = vdd::solve(inst, model, opts)?;
+            let mut solution = Solution {
+                model: model.clone(),
+                profiles: s
+                    .segments
+                    .iter()
+                    .map(|segs| SpeedProfile::Segments(segs.clone()))
+                    .collect(),
+                energy: s.energy,
+                makespan: 0.0,
+                lower_bound: None,
+                stats: SolveStats {
+                    lp_pivots: Some(s.pivots),
+                    ..SolveStats::default()
+                },
+            };
+            solution.makespan = analysis::critical_path_length(
+                inst.augmented_dag(),
+                &solution.to_schedule().durations(&inst.dag),
+            );
+            Ok(solution)
+        }
+        SpeedModel::Discrete { .. } => {
+            let s = discrete::solve(inst, model, opts)?;
+            Ok(Solution::from_speeds(
+                inst,
+                model,
+                &s.speeds,
+                s.energy,
+                None,
+                SolveStats {
+                    bnb_nodes: Some(s.nodes),
+                    ..SolveStats::default()
+                },
+            ))
+        }
+        SpeedModel::Incremental { .. } => {
+            let s = incremental::solve(inst, model, opts)?;
+            Ok(Solution::from_speeds(
+                inst,
+                model,
+                &s.speeds,
+                s.energy,
+                Some(s.lower_bound),
+                SolveStats {
+                    approx_ratio: Some(s.ratio),
+                    proven_factor: Some(s.proven_factor),
+                    ..SolveStats::default()
+                },
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use ea_taskgraph::generators;
+
+    fn inst() -> Instance {
+        let dag = generators::random_layered(4, 3, 0.4, 0.5, 2.0, 7);
+        let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(2), 2.0, f64::MAX)
+            .expect("mapping succeeds");
+        let d = 1.6 * inst.makespan_at_uniform_speed(2.0);
+        inst.with_deadline(d).expect("positive deadline")
+    }
+
+    #[test]
+    fn dispatch_routes_every_model() {
+        let inst = inst();
+        let opts = SolveOptions::default();
+        let modes = vec![1.0, 1.25, 1.5, 1.75, 2.0];
+        let models = [
+            SpeedModel::continuous(1.0, 2.0),
+            SpeedModel::vdd_hopping(modes.clone()),
+            SpeedModel::discrete(modes),
+            SpeedModel::incremental(1.0, 2.0, 0.25),
+        ];
+        for model in &models {
+            let sol = solve(&inst, model, &opts).expect("feasible");
+            assert_eq!(sol.profiles.len(), inst.n_tasks());
+            assert!(sol.makespan <= inst.deadline * (1.0 + 1e-6), "{model:?}");
+            sol.to_schedule()
+                .validate(&inst.dag, model, &inst.mapping, Some(inst.deadline))
+                .expect("dispatcher output must validate");
+        }
+    }
+
+    #[test]
+    fn stats_carry_solver_diagnostics() {
+        let inst = inst();
+        let opts = SolveOptions::default();
+        let vdd = solve(&inst, &SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]), &opts).unwrap();
+        assert!(vdd.stats.lp_pivots.expect("pivots recorded") > 0);
+        let disc = solve(&inst, &SpeedModel::discrete(vec![1.0, 1.5, 2.0]), &opts).unwrap();
+        assert!(disc.stats.bnb_nodes.expect("nodes recorded") > 0);
+        let inc = solve(&inst, &SpeedModel::incremental(1.0, 2.0, 0.25), &opts).unwrap();
+        let ratio = inc.stats.approx_ratio.expect("ratio recorded");
+        let bound = inc.stats.proven_factor.expect("factor recorded");
+        assert!(ratio <= bound + 1e-9);
+    }
+
+    #[test]
+    fn constant_speeds_roundtrip() {
+        let inst = inst();
+        let sol = solve(
+            &inst,
+            &SpeedModel::continuous(1.0, 2.0),
+            &SolveOptions::default(),
+        )
+        .expect("feasible");
+        let speeds = sol.constant_speeds().expect("continuous is single-speed");
+        assert_eq!(speeds.len(), inst.n_tasks());
+        let e: f64 = speeds
+            .iter()
+            .zip(inst.dag.weights())
+            .map(|(&f, &w)| w * f * f)
+            .sum();
+        assert!((e - sol.energy).abs() <= 1e-9 * sol.energy);
+    }
+
+    #[test]
+    fn solution_serialises_to_json() {
+        let inst = Instance::single_chain(&[1.0, 2.0], 4.0).unwrap();
+        let sol = solve(
+            &inst,
+            &SpeedModel::vdd_hopping(vec![1.0, 2.0]),
+            &SolveOptions::default(),
+        )
+        .expect("feasible");
+        let json = serde_json::to_string(&sol).expect("serialises");
+        assert!(json.contains("profiles"), "{json}");
+    }
+
+    #[test]
+    fn model_mismatch_is_reported() {
+        let inst = Instance::single_chain(&[1.0], 4.0).unwrap();
+        let err = continuous::solve(
+            &inst,
+            &SpeedModel::discrete(vec![1.0, 2.0]),
+            &SolveOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::ModelMismatch { .. }));
+    }
+
+    #[test]
+    fn options_builders_compose() {
+        let opts = SolveOptions::default()
+            .with_bnb_bound(BnbBound::Simple)
+            .with_accuracy_k(0);
+        assert_eq!(opts.bnb_bound, BnbBound::Simple);
+        assert_eq!(opts.accuracy_k, 1, "K is clamped to ≥ 1");
+    }
+}

@@ -17,8 +17,11 @@
 //! checked by [`VddSolution::max_modes_per_task`] /
 //! [`VddSolution::speeds_adjacent`] and exercised by experiment E3.
 
+use super::SolveOptions;
 use crate::error::CoreError;
+use crate::instance::Instance;
 use crate::schedule::{ExecSpec, Schedule, TaskSchedule};
+use crate::speed::SpeedModel;
 use ea_lp::{Cmp, LpOutcome, LpProblem};
 use ea_taskgraph::Dag;
 
@@ -66,15 +69,37 @@ impl VddSolution {
                 .segments
                 .iter()
                 .map(|segs| TaskSchedule {
-                    executions: vec![ExecSpec::Vdd { segments: segs.clone() }],
+                    executions: vec![ExecSpec::Vdd {
+                        segments: segs.clone(),
+                    }],
                 })
                 .collect(),
         }
     }
 }
 
-/// Solves VDD-HOPPING BI-CRIT on the augmented DAG by linear programming.
-pub fn solve(aug: &Dag, deadline: f64, modes: &[f64]) -> Result<VddSolution, CoreError> {
+/// Solves VDD-HOPPING BI-CRIT on an [`Instance`].
+///
+/// `model` must be [`SpeedModel::VddHopping`]; other variants are routed
+/// by [`crate::bicrit::solve`].
+pub fn solve(
+    inst: &Instance,
+    model: &SpeedModel,
+    _opts: &SolveOptions,
+) -> Result<VddSolution, CoreError> {
+    let SpeedModel::VddHopping { modes } = model else {
+        return Err(CoreError::ModelMismatch {
+            expected: "VDD-HOPPING",
+            got: format!("{model:?}"),
+        });
+    };
+    solve_on_dag(inst.augmented_dag(), inst.deadline, modes)
+}
+
+/// Solves the VDD-hopping LP directly on an augmented DAG (the algorithm
+/// core behind [`solve`]; the DISCRETE branch-and-bound and the scaling
+/// benches drive it without an [`Instance`]).
+pub fn solve_on_dag(aug: &Dag, deadline: f64, modes: &[f64]) -> Result<VddSolution, CoreError> {
     assert!(!modes.is_empty(), "need at least one mode");
     let n = aug.len();
     let m = modes.len();
@@ -89,8 +114,11 @@ pub fn solve(aug: &Dag, deadline: f64, modes: &[f64]) -> Result<VddSolution, Cor
     }
     // Work conservation.
     for i in 0..n {
-        let coeffs: Vec<(usize, f64)> =
-            modes.iter().enumerate().map(|(k, &f)| (alpha(i, k), f)).collect();
+        let coeffs: Vec<(usize, f64)> = modes
+            .iter()
+            .enumerate()
+            .map(|(k, &f)| (alpha(i, k), f))
+            .collect();
         lp.add_constraint(&coeffs, Cmp::Eq, aug.weight(i));
     }
     // Precedence on the augmented DAG.
@@ -121,9 +149,7 @@ pub fn solve(aug: &Dag, deadline: f64, modes: &[f64]) -> Result<VddSolution, Cor
         LpOutcome::Unbounded => {
             return Err(CoreError::Numerical("VDD LP unbounded (model bug)".into()))
         }
-        LpOutcome::Stalled => {
-            return Err(CoreError::Numerical("VDD LP stalled".into()))
-        }
+        LpOutcome::Stalled => return Err(CoreError::Numerical("VDD LP stalled".into())),
     };
 
     // Extract segments, dropping numerical dust, and re-normalise the work
@@ -163,7 +189,12 @@ pub fn solve(aug: &Dag, deadline: f64, modes: &[f64]) -> Result<VddSolution, Cor
         .flat_map(|segs| segs.iter().map(|&(f, t)| f * f * f * t))
         .sum();
     let starts = (0..n).map(|i| sol.x[bvar(i)]).collect();
-    Ok(VddSolution { segments, starts, energy, pivots: sol.pivots })
+    Ok(VddSolution {
+        segments,
+        starts,
+        energy,
+        pivots: sol.pivots,
+    })
 }
 
 #[cfg(test)]
@@ -174,7 +205,10 @@ mod tests {
     use ea_taskgraph::generators;
 
     fn assert_close(a: f64, b: f64, rel: f64) {
-        assert!((a - b).abs() <= rel * a.abs().max(b.abs()).max(1e-9), "{a} vs {b}");
+        assert!(
+            (a - b).abs() <= rel * a.abs().max(b.abs()).max(1e-9),
+            "{a} vs {b}"
+        );
     }
 
     #[test]
@@ -182,7 +216,7 @@ mod tests {
         // w = 3, D = 2 ⇒ continuous speed 1.5; modes {1, 2}: mix
         // t1 + t2 = 2, 1·t1 + 2·t2 = 3 ⇒ t1 = t2 = 1; E = 1 + 8 = 9.
         let dag = generators::chain(&[3.0]);
-        let s = solve(&dag, 2.0, &[1.0, 2.0]).unwrap();
+        let s = solve_on_dag(&dag, 2.0, &[1.0, 2.0]).unwrap();
         assert_close(s.energy, 9.0, 1e-6);
         assert_eq!(s.max_modes_per_task(), 2);
         assert!(s.speeds_adjacent(&[1.0, 2.0]));
@@ -191,7 +225,7 @@ mod tests {
     #[test]
     fn exact_mode_uses_one_speed() {
         let dag = generators::chain(&[4.0]);
-        let s = solve(&dag, 2.0, &[1.0, 2.0, 4.0]).unwrap();
+        let s = solve_on_dag(&dag, 2.0, &[1.0, 2.0, 4.0]).unwrap();
         // speed 2 exactly: energy 4·4 = 16
         assert_close(s.energy, 16.0, 1e-6);
         assert_eq!(s.max_modes_per_task(), 1);
@@ -201,7 +235,7 @@ mod tests {
     fn chain_splits_deadline() {
         // Two tasks w=1 each, D=2, modes {1,2}: run both at speed 1.
         let dag = generators::chain(&[1.0, 1.0]);
-        let s = solve(&dag, 2.0, &[1.0, 2.0]).unwrap();
+        let s = solve_on_dag(&dag, 2.0, &[1.0, 2.0]).unwrap();
         assert_close(s.energy, 2.0, 1e-6);
     }
 
@@ -209,7 +243,7 @@ mod tests {
     fn infeasible_deadline_detected() {
         let dag = generators::chain(&[10.0]);
         assert!(matches!(
-            solve(&dag, 1.0, &[1.0, 2.0]),
+            solve_on_dag(&dag, 1.0, &[1.0, 2.0]),
             Err(CoreError::InfeasibleDeadline { .. })
         ));
     }
@@ -219,7 +253,7 @@ mod tests {
         // E_cont ≤ E_vdd ≤ E_discrete-at-rounded-speed on the same instance.
         let inst = Instance::fork(2.0, &[1.0, 3.0, 2.0], 8.0).unwrap();
         let modes = [0.5, 1.0, 1.5, 2.0];
-        let vdd = solve(inst.augmented_dag(), 8.0, &modes).unwrap();
+        let vdd = solve_on_dag(inst.augmented_dag(), 8.0, &modes).unwrap();
         let cont = continuous::fork_theorem(2.0, &[1.0, 3.0, 2.0], 8.0, 1e-6, 2.0).unwrap();
         assert!(cont.energy <= vdd.energy * (1.0 + 1e-6));
         // Discrete upper bound: round every continuous speed up.
@@ -241,7 +275,7 @@ mod tests {
     fn witness_schedule_is_valid() {
         let inst = Instance::fork(2.0, &[1.0, 3.0], 8.0).unwrap();
         let modes = vec![0.5, 1.0, 2.0];
-        let s = solve(inst.augmented_dag(), 8.0, &modes).unwrap();
+        let s = solve_on_dag(inst.augmented_dag(), 8.0, &modes).unwrap();
         let sched = s.to_schedule();
         let model = crate::speed::SpeedModel::vdd_hopping(modes);
         sched
@@ -263,7 +297,7 @@ mod tests {
             .unwrap();
             let aug = inst.augmented_dag();
             let cp = inst.makespan_at_uniform_speed(2.5);
-            let s = solve(aug, 1.8 * cp, &modes).unwrap();
+            let s = solve_on_dag(aug, 1.8 * cp, &modes).unwrap();
             assert!(s.max_modes_per_task() <= 2, "seed {seed}");
             assert!(s.speeds_adjacent(&modes), "seed {seed}");
         }

@@ -18,6 +18,15 @@ pub enum CoreError {
     /// The requested structure does not match (e.g. fork solver on a
     /// non-fork graph).
     StructureMismatch(String),
+    /// A solver was handed a [`crate::speed::SpeedModel`] variant it does
+    /// not implement (use the `bicrit::solve` dispatcher to route by
+    /// model).
+    ModelMismatch {
+        /// The model family the solver implements.
+        expected: &'static str,
+        /// Debug rendering of the model actually passed.
+        got: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +41,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
             CoreError::Numerical(m) => write!(f, "numerical failure: {m}"),
             CoreError::StructureMismatch(m) => write!(f, "structure mismatch: {m}"),
+            CoreError::ModelMismatch { expected, got } => {
+                write!(f, "model mismatch: solver implements {expected}, got {got}")
+            }
         }
     }
 }

@@ -54,13 +54,7 @@ fn seg_time(prefix_w: &[f64], i: usize, j: usize, f: f64, cost: &CheckpointCost)
 }
 
 /// Whether a segment `[i, j)` meets the conservative reliability bound.
-fn seg_reliable(
-    weights: &[f64],
-    rel: &ReliabilityModel,
-    i: usize,
-    j: usize,
-    f: f64,
-) -> bool {
+fn seg_reliable(weights: &[f64], rel: &ReliabilityModel, i: usize, j: usize, f: f64) -> bool {
     let p_seg: f64 = weights[i..j].iter().map(|&w| rel.failure_prob(w, f)).sum();
     let budget = weights[i..j]
         .iter()
@@ -153,8 +147,8 @@ pub fn solve_chain(
         }
     }
     let f = hi;
-    let segments = optimal_segmentation(weights, rel, cost, f)
-        .expect("bisection endpoint is feasible");
+    let segments =
+        optimal_segmentation(weights, rel, cost, f).expect("bisection endpoint is feasible");
     let mut prefix = vec![0.0; weights.len() + 1];
     for (i, &w) in weights.iter().enumerate() {
         prefix[i + 1] = prefix[i] + w;
@@ -165,7 +159,12 @@ pub fn solve_chain(
         .sum();
     let work: f64 = weights.iter().sum();
     let worst_energy = 2.0 * work * f * f + segments.len() as f64 * cost.energy;
-    Ok(CheckpointPlan { segments, speed: f, worst_makespan, worst_energy })
+    Ok(CheckpointPlan {
+        segments,
+        speed: f,
+        worst_makespan,
+        worst_energy,
+    })
 }
 
 #[cfg(test)]
@@ -178,7 +177,10 @@ mod tests {
     }
 
     fn cost() -> CheckpointCost {
-        CheckpointCost { time: 0.05, energy: 0.05 }
+        CheckpointCost {
+            time: 0.05,
+            energy: 0.05,
+        }
     }
 
     #[test]
@@ -201,18 +203,38 @@ mod tests {
         let rel = ReliabilityModel::new(0.01, 3.0, 1.0, 2.0, 1.8);
         let short = optimal_segmentation(&[1.0; 4], &rel, &cost(), 1.4).expect("ok");
         let long = optimal_segmentation(&vec![1.0; 40], &rel, &cost(), 1.4).expect("ok");
-        assert!(long.len() > short.len(), "{} vs {}", long.len(), short.len());
+        assert!(
+            long.len() > short.len(),
+            "{} vs {}",
+            long.len(),
+            short.len()
+        );
     }
 
     #[test]
     fn cheap_checkpoints_mean_fine_segmentation() {
         let rel = rel();
         let w = vec![1.0; 20];
-        let fine = optimal_segmentation(&w, &rel, &CheckpointCost { time: 1e-4, energy: 0.0 }, 1.5)
-            .expect("ok");
-        let coarse =
-            optimal_segmentation(&w, &rel, &CheckpointCost { time: 0.8, energy: 0.0 }, 1.5)
-                .expect("ok");
+        let fine = optimal_segmentation(
+            &w,
+            &rel,
+            &CheckpointCost {
+                time: 1e-4,
+                energy: 0.0,
+            },
+            1.5,
+        )
+        .expect("ok");
+        let coarse = optimal_segmentation(
+            &w,
+            &rel,
+            &CheckpointCost {
+                time: 0.8,
+                energy: 0.0,
+            },
+            1.5,
+        )
+        .expect("ok");
         assert!(fine.len() >= coarse.len());
     }
 
@@ -251,7 +273,10 @@ mod tests {
         let rel = rel();
         let w = vec![0.8; 16];
         let f = 1.5;
-        let c = CheckpointCost { time: 0.3, energy: 0.3 };
+        let c = CheckpointCost {
+            time: 0.3,
+            energy: 0.3,
+        };
         let mut prefix = vec![0.0; w.len() + 1];
         for (i, &wi) in w.iter().enumerate() {
             prefix[i + 1] = prefix[i] + wi;

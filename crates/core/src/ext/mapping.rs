@@ -61,7 +61,10 @@ pub fn schedule_with_policy(
             .iter()
             .enumerate()
             .max_by(|(_, &a), (_, &b)| {
-                rank[a].partial_cmp(&rank[b]).expect("finite").then(b.cmp(&a))
+                rank[a]
+                    .partial_cmp(&rank[b])
+                    .expect("finite")
+                    .then(b.cmp(&a))
             })
             .expect("non-empty");
         ready.swap_remove(idx);
@@ -85,9 +88,7 @@ pub fn schedule_with_policy(
                 .expect("p ≥ 1"),
             Policy::SlackPreserving => {
                 let finish_on = |q: usize| data_ready.max(avail[q]) + dur;
-                let best = (0..p)
-                    .map(finish_on)
-                    .fold(f64::INFINITY, f64::min);
+                let best = (0..p).map(finish_on).fold(f64::INFINITY, f64::min);
                 (0..p)
                     .filter(|&q| finish_on(q) <= best * 1.10 + 1e-12)
                     .min_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("finite"))
@@ -138,7 +139,11 @@ mod tests {
     #[test]
     fn all_policies_produce_valid_mappings() {
         let dag = generators::gaussian_elimination(4, 1.0);
-        for policy in [Policy::EarliestFinish, Policy::LoadBalance, Policy::SlackPreserving] {
+        for policy in [
+            Policy::EarliestFinish,
+            Policy::LoadBalance,
+            Policy::SlackPreserving,
+        ] {
             let (m, _) = schedule_with_policy(&dag, Platform::new(4), 2.0, policy);
             m.augmented_dag(&dag).expect("acyclic augmented DAG");
         }
@@ -163,14 +168,13 @@ mod tests {
         let dag = generators::random_layered(6, 4, 0.3, 0.5, 2.0, 11);
         let (m_ef, ms_ef) =
             schedule_with_policy(&dag, Platform::new(3), 2.0, Policy::EarliestFinish);
-        let (m_lb, ms_lb) =
-            schedule_with_policy(&dag, Platform::new(3), 2.0, Policy::LoadBalance);
+        let (m_lb, ms_lb) = schedule_with_policy(&dag, Platform::new(3), 2.0, Policy::LoadBalance);
         assert!(ms_ef <= ms_lb + 1e-9, "EF is the makespan-greedy policy");
         let d = 1.5 * ms_ef * 2.0; // deadline in work units at speed 1… use makespan×fref
         for m in [m_ef, m_lb] {
-            let inst =
-                Instance::new(dag.clone(), Platform::new(3), m, d).expect("valid instance");
-            let sol = continuous::solve(&inst, 0.5, 2.0, &Default::default()).expect("feasible");
+            let inst = Instance::new(dag.clone(), Platform::new(3), m, d).expect("valid instance");
+            let sol =
+                continuous::solve_in_box(&inst, 0.5, 2.0, &Default::default()).expect("feasible");
             assert!(sol.energy.is_finite() && sol.energy > 0.0);
         }
     }

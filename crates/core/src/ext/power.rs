@@ -52,7 +52,13 @@ fn assign(tree: &SpTree, window: f64, alpha: f64, out: &mut Vec<(usize, f64)>, d
         SpTree::Series(children) => {
             let total: f64 = children.iter().map(|c| equivalent_weight(c, alpha)).sum();
             for c in children {
-                assign(c, window * equivalent_weight(c, alpha) / total, alpha, out, dfs);
+                assign(
+                    c,
+                    window * equivalent_weight(c, alpha) / total,
+                    alpha,
+                    out,
+                    dfs,
+                );
             }
         }
         SpTree::Parallel(children) => {
@@ -82,14 +88,21 @@ mod tests {
     use ea_taskgraph::generators;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-12), "{a} vs {b}");
+        assert!(
+            (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-12),
+            "{a} vs {b}"
+        );
     }
 
     #[test]
     fn alpha_three_matches_cubic_algebra() {
         for seed in 0..5u64 {
             let tree = generators::random_sp_tree(12, 0.5, 2.5, seed);
-            assert_close(equivalent_weight(&tree, 3.0), tree.equivalent_weight(), 1e-12);
+            assert_close(
+                equivalent_weight(&tree, 3.0),
+                tree.equivalent_weight(),
+                1e-12,
+            );
             let (_, e3) = continuous::sp_optimal(&tree, 4.0);
             assert_close(sp_optimal_energy(&tree, 4.0, 3.0), e3, 1e-12);
         }
@@ -122,8 +135,8 @@ mod tests {
             rows.push((vec![(i, -1.0)], -1e-3));
         }
         let cons = LinearConstraints::from_rows(3, &rows);
-        let sol = ea_convex::solve(&obj, &cons, &[0.3, 0.3, 0.3], &BarrierOptions::default())
-            .unwrap();
+        let sol =
+            ea_convex::solve(&obj, &cons, &[0.3, 0.3, 0.3], &BarrierOptions::default()).unwrap();
         assert_close(sol.objective, closed, 1e-4);
     }
 

@@ -20,8 +20,8 @@
 //! processors are a hard budget: each replicated branch occupies a second
 //! processor for its execution window.
 
-use crate::reliability::ReliabilityModel;
 use crate::error::CoreError;
+use crate::reliability::ReliabilityModel;
 
 /// Fault-tolerance strategy chosen for one task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,8 +69,7 @@ fn best_decision(
     }
     let mut best: Option<Decision> = None;
     let mut consider = |d: Decision| {
-        if d.speed <= rel.fmax * (1.0 + 1e-12)
-            && best.as_ref().is_none_or(|b| d.energy < b.energy)
+        if d.speed <= rel.fmax * (1.0 + 1e-12) && best.as_ref().is_none_or(|b| d.energy < b.energy)
         {
             best = Some(d);
         }
@@ -83,7 +82,9 @@ fn best_decision(
         energy: w * f_once * f_once,
     });
     // Re-execute: both attempts within t ⇒ g ≥ max(2w/t, g_min).
-    let g_re = (2.0 * w / t).max(rel.reexec_equal_speed_min(w)).max(rel.fmin);
+    let g_re = (2.0 * w / t)
+        .max(rel.reexec_equal_speed_min(w))
+        .max(rel.fmin);
     consider(Decision {
         strategy: Strategy::ReExecute,
         speed: g_re,
@@ -164,9 +165,8 @@ pub fn solve_fork(
             }
         }
     }
-    let (_, mut t_star) = best.ok_or_else(|| {
-        CoreError::Infeasible("no feasible deadline split".into())
-    })?;
+    let (_, mut t_star) =
+        best.ok_or_else(|| CoreError::Infeasible("no feasible deadline split".into()))?;
     // Local refinement around the best grid point.
     let step0 = (t_hi - t_lo) / grid as f64;
     let mut step = step0;
@@ -182,9 +182,12 @@ pub fn solve_fork(
             }
         }
     }
-    let (energy, decisions, spares_used) =
-        evaluate(t_star).expect("refined split stays feasible");
-    Ok(ReplicationSolution { decisions, energy, spares_used })
+    let (energy, decisions, spares_used) = evaluate(t_star).expect("refined split stays feasible");
+    Ok(ReplicationSolution {
+        decisions,
+        energy,
+        spares_used,
+    })
 }
 
 #[cfg(test)]

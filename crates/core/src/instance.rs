@@ -42,7 +42,13 @@ impl Instance {
             )));
         }
         let aug = mapping.augmented_dag(&dag)?;
-        Ok(Instance { dag, platform, mapping, deadline, aug })
+        Ok(Instance {
+            dag,
+            platform,
+            mapping,
+            deadline,
+            aug,
+        })
     }
 
     /// A single-processor instance executing `weights` as a linear chain in
@@ -50,12 +56,21 @@ impl Instance {
     pub fn single_chain(weights: &[f64], deadline: f64) -> Result<Self, CoreError> {
         let dag = ea_taskgraph::generators::chain(weights);
         let order: Vec<TaskId> = (0..weights.len()).collect();
-        Self::new(dag, Platform::single(), Mapping::single_processor(order), deadline)
+        Self::new(
+            dag,
+            Platform::single(),
+            Mapping::single_processor(order),
+            deadline,
+        )
     }
 
     /// A fork instance (source + `n` branches) with the source on processor
     /// 0 and one branch per processor — the paper's fork-theorem setting.
-    pub fn fork(source_weight: f64, branch_weights: &[f64], deadline: f64) -> Result<Self, CoreError> {
+    pub fn fork(
+        source_weight: f64,
+        branch_weights: &[f64],
+        deadline: f64,
+    ) -> Result<Self, CoreError> {
         let dag = ea_taskgraph::generators::fork(source_weight, branch_weights);
         let n = dag.len();
         let p = branch_weights.len().max(1);
@@ -104,13 +119,27 @@ impl Instance {
     /// The minimum uniform speed meeting the deadline: `CP_w / D`, where
     /// `CP_w` is the critical-path weight of the augmented DAG.
     pub fn critical_uniform_speed(&self) -> f64 {
-        ea_taskgraph::analysis::critical_path_length(&self.aug, self.dag.weights())
-            / self.deadline
+        ea_taskgraph::analysis::critical_path_length(&self.aug, self.dag.weights()) / self.deadline
     }
 
     /// Returns a copy with a different deadline (for deadline sweeps).
     pub fn with_deadline(&self, deadline: f64) -> Result<Self, CoreError> {
-        Self::new(self.dag.clone(), self.platform, self.mapping.clone(), deadline)
+        Self::new(
+            self.dag.clone(),
+            self.platform,
+            self.mapping.clone(),
+            deadline,
+        )
+    }
+
+    /// Solves BI-CRIT on this instance under `model` — sugar for the
+    /// [`crate::bicrit::solve`] dispatcher.
+    pub fn solve(
+        &self,
+        model: &crate::speed::SpeedModel,
+        opts: &crate::bicrit::SolveOptions,
+    ) -> Result<crate::bicrit::Solution, CoreError> {
+        crate::bicrit::solve(self, model, opts)
     }
 }
 
@@ -144,8 +173,7 @@ mod tests {
     #[test]
     fn list_scheduled_instance() {
         let dag = ea_taskgraph::generators::random_layered(4, 3, 0.4, 0.5, 2.0, 5);
-        let inst =
-            Instance::mapped_by_list_scheduling(dag, Platform::new(3), 1.0, 100.0).unwrap();
+        let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(3), 1.0, 100.0).unwrap();
         assert_eq!(inst.mapping.n_processors(), 3);
         inst.mapping.augmented_dag(&inst.dag).unwrap();
     }

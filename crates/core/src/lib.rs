@@ -11,10 +11,13 @@
 //!   schedules and the three criteria (makespan, energy, reliability).
 //! * [`listsched`] — the critical-path list scheduler used to produce
 //!   mappings when only a bare DAG is given.
-//! * [`bicrit`] — BI-CRIT solvers: closed forms for chains/forks/trees/SP
-//!   graphs, the convex program for general DAGs (CONTINUOUS), the linear
-//!   program (VDD-HOPPING), exact branch-and-bound + DP (DISCRETE), and the
-//!   rounding approximation (INCREMENTAL).
+//! * [`bicrit`] — BI-CRIT solvers behind one unified entry point:
+//!   [`bicrit::solve`] dispatches an [`Instance`] + [`speed::SpeedModel`] +
+//!   [`bicrit::SolveOptions`] to the per-model algorithms (closed forms /
+//!   convex program for CONTINUOUS, the linear program for VDD-HOPPING,
+//!   exact branch-and-bound + DP for DISCRETE, the rounding approximation
+//!   for INCREMENTAL) and returns a model-agnostic [`bicrit::Solution`]
+//!   convertible to a [`schedule::Schedule`].
 //! * [`tricrit`] — TRI-CRIT solvers: the chain strategy (slow everything
 //!   equally, then pick the re-execution set), the polynomial fork
 //!   algorithm, the two heuristic families H-A/H-B and their best-of, and
@@ -34,5 +37,7 @@ pub mod schedule;
 pub mod speed;
 pub mod tricrit;
 
+pub use bicrit::{solve as solve_bicrit, Solution, SolveOptions, SpeedProfile};
 pub use error::CoreError;
 pub use instance::Instance;
+pub use speed::SpeedModel;

@@ -118,8 +118,7 @@ mod tests {
         let (m, ms) = critical_path_list_schedule(&dag, Platform::new(3), 1.0);
         // source then 3 parallel branches: makespan 1 + 2
         assert!((ms - 3.0).abs() < 1e-12);
-        let procs: std::collections::HashSet<usize> =
-            (1..4).map(|t| m.processor_of(t)).collect();
+        let procs: std::collections::HashSet<usize> = (1..4).map(|t| m.processor_of(t)).collect();
         assert_eq!(procs.len(), 3, "branches should use all processors");
     }
 

@@ -64,10 +64,14 @@ impl Mapping {
             }
         }
         if let Some(t) = seen.iter().position(|s| !s) {
-            return Err(CoreError::InvalidMapping(format!("task {t} missing from orders")));
+            return Err(CoreError::InvalidMapping(format!(
+                "task {t} missing from orders"
+            )));
         }
         if let Some(&bad) = proc_of.iter().find(|&&pr| pr >= p) {
-            return Err(CoreError::InvalidMapping(format!("processor {bad} out of range")));
+            return Err(CoreError::InvalidMapping(format!(
+                "processor {bad} out of range"
+            )));
         }
         Ok(Mapping { proc_of, order })
     }
@@ -80,7 +84,10 @@ impl Mapping {
             assert!(t < n, "order must be a permutation of 0..n");
             proc_of[t] = 0;
         }
-        Mapping { proc_of, order: vec![order] }
+        Mapping {
+            proc_of,
+            order: vec![order],
+        }
     }
 
     /// One task per processor (fully parallel; used for fork experiments).

@@ -36,7 +36,10 @@ pub struct TwoPartitionGadget {
 /// Builds the gadget from the 2-PARTITION integers `a`.
 pub fn two_partition_gadget(a: &[u64]) -> Result<TwoPartitionGadget, CoreError> {
     assert!(!a.is_empty(), "need at least one integer");
-    assert!(a.iter().all(|&x| x > 0), "2-PARTITION integers must be positive");
+    assert!(
+        a.iter().all(|&x| x > 0),
+        "2-PARTITION integers must be positive"
+    );
     let total: u64 = a.iter().sum();
     let s = total as f64 / 2.0;
     let weights: Vec<f64> = a.iter().map(|&x| x as f64).collect();
@@ -89,7 +92,11 @@ mod tests {
         // {3, 5, 8} partitions into {3,5} / {8}: S = 8.
         let g = two_partition_gadget(&[3, 5, 8]).unwrap();
         let e = solve(&g);
-        assert!(g.decide_via_energy(e), "expected 5S = {}, got {e}", g.yes_energy);
+        assert!(
+            g.decide_via_energy(e),
+            "expected 5S = {}, got {e}",
+            g.yes_energy
+        );
     }
 
     #[test]
@@ -122,10 +129,8 @@ mod tests {
         let a = [4u64, 5, 6, 7];
         let g = two_partition_gadget(&a).unwrap();
         let e_bnb = solve(&g);
-        let durations: Vec<Vec<u64>> =
-            a.iter().map(|&x| vec![2 * x, x]).collect(); // ×2 scale: speed1→2x, speed2→x
-        let energies: Vec<Vec<f64>> =
-            a.iter().map(|&x| vec![x as f64, 4.0 * x as f64]).collect();
+        let durations: Vec<Vec<u64>> = a.iter().map(|&x| vec![2 * x, x]).collect(); // ×2 scale: speed1→2x, speed2→x
+        let energies: Vec<Vec<f64>> = a.iter().map(|&x| vec![x as f64, 4.0 * x as f64]).collect();
         let tmax = (2.0 * g.instance.deadline) as u64;
         let (e_dp, _) = discrete::chain_dp_integral(&durations, &energies, tmax).unwrap();
         assert!((e_bnb - e_dp).abs() < 1e-9);

@@ -40,7 +40,13 @@ impl ReliabilityModel {
             (fmin..=fmax).contains(&frel),
             "frel must lie within [fmin, fmax]"
         );
-        ReliabilityModel { lambda0, d, fmin, fmax, frel }
+        ReliabilityModel {
+            lambda0,
+            d,
+            fmin,
+            fmax,
+            frel,
+        }
     }
 
     /// A set of defaults in the regime used by the literature the paper
@@ -82,8 +88,7 @@ impl ReliabilityModel {
     /// Whether a re-executed pair at speeds `(f1, f2)` meets the
     /// constraint: `p(f1)·p(f2) ≤ p(f_rel)`.
     pub fn pair_ok(&self, w: f64, f1: f64, f2: f64) -> bool {
-        self.failure_prob(w, f1) * self.failure_prob(w, f2)
-            <= self.target(w) * (1.0 + 1e-9)
+        self.failure_prob(w, f1) * self.failure_prob(w, f2) <= self.target(w) * (1.0 + 1e-9)
     }
 
     /// The minimum *equal* speed `g` such that re-executing twice at `g`

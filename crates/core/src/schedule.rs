@@ -90,12 +90,16 @@ pub struct TaskSchedule {
 impl TaskSchedule {
     /// Single execution at a constant speed.
     pub fn once(speed: f64) -> Self {
-        TaskSchedule { executions: vec![ExecSpec::at(speed)] }
+        TaskSchedule {
+            executions: vec![ExecSpec::at(speed)],
+        }
     }
 
     /// Two executions at (possibly different) constant speeds.
     pub fn twice(f1: f64, f2: f64) -> Self {
-        TaskSchedule { executions: vec![ExecSpec::at(f1), ExecSpec::at(f2)] }
+        TaskSchedule {
+            executions: vec![ExecSpec::at(f1), ExecSpec::at(f2)],
+        }
     }
 
     /// True if the task is re-executed.
@@ -132,12 +136,16 @@ pub struct Schedule {
 impl Schedule {
     /// All tasks executed once at a common speed.
     pub fn uniform(n: usize, speed: f64) -> Self {
-        Schedule { tasks: (0..n).map(|_| TaskSchedule::once(speed)).collect() }
+        Schedule {
+            tasks: (0..n).map(|_| TaskSchedule::once(speed)).collect(),
+        }
     }
 
     /// All tasks executed once at per-task speeds.
     pub fn from_speeds(speeds: &[f64]) -> Self {
-        Schedule { tasks: speeds.iter().map(|&f| TaskSchedule::once(f)).collect() }
+        Schedule {
+            tasks: speeds.iter().map(|&f| TaskSchedule::once(f)).collect(),
+        }
     }
 
     /// Number of tasks.
@@ -178,9 +186,10 @@ impl Schedule {
     /// True if every task meets the reliability constraint
     /// `R_i ≥ R_i(f_rel)`.
     pub fn reliability_ok(&self, dag: &Dag, rel: &ReliabilityModel) -> bool {
-        self.tasks.iter().zip(dag.weights()).all(|(ts, &w)| {
-            ts.failure_prob(rel, w) <= rel.target(w) * (1.0 + 1e-9)
-        })
+        self.tasks
+            .iter()
+            .zip(dag.weights())
+            .all(|(ts, &w)| ts.failure_prob(rel, w) <= rel.target(w) * (1.0 + 1e-9))
     }
 
     /// Per-task failure probabilities.
@@ -286,7 +295,9 @@ mod tests {
     #[test]
     fn vdd_exec_accounting() {
         // Two segments: 1 time unit at speed 1, 1 at speed 3 ⇒ work 4.
-        let e = ExecSpec::Vdd { segments: vec![(1.0, 1.0), (3.0, 1.0)] };
+        let e = ExecSpec::Vdd {
+            segments: vec![(1.0, 1.0), (3.0, 1.0)],
+        };
         assert!((e.work(4.0) - 4.0).abs() < 1e-12);
         assert!((e.duration(4.0) - 2.0).abs() < 1e-12);
         assert!((e.energy(4.0) - (1.0 + 27.0)).abs() < 1e-12);
@@ -345,7 +356,9 @@ mod tests {
         let model = SpeedModel::vdd_hopping(vec![1.0, 3.0]);
         let bad = Schedule {
             tasks: vec![TaskSchedule {
-                executions: vec![ExecSpec::Vdd { segments: vec![(1.0, 1.0)] }],
+                executions: vec![ExecSpec::Vdd {
+                    segments: vec![(1.0, 1.0)],
+                }],
             }],
         };
         assert!(bad.validate(&dag, &model, &m, None).is_err());
@@ -358,7 +371,9 @@ mod tests {
         let model = SpeedModel::discrete(vec![1.0, 3.0]);
         let s = Schedule {
             tasks: vec![TaskSchedule {
-                executions: vec![ExecSpec::Vdd { segments: vec![(1.0, 1.0), (3.0, 1.0)] }],
+                executions: vec![ExecSpec::Vdd {
+                    segments: vec![(1.0, 1.0), (3.0, 1.0)],
+                }],
             }],
         };
         assert!(s.validate(&dag, &model, &m, None).is_err());
@@ -384,7 +399,9 @@ mod tests {
         assert!(!slow.reliability_ok(&dag, &rel));
         // re-execution at a low speed restores the constraint
         let g = rel.reexec_equal_speed_min(1.0);
-        let re = Schedule { tasks: vec![TaskSchedule::twice(g, g); 2] };
+        let re = Schedule {
+            tasks: vec![TaskSchedule::twice(g, g); 2],
+        };
         assert!(re.reliability_ok(&dag, &rel));
     }
 }

@@ -34,17 +34,24 @@ impl SpeedModel {
 
     /// A discrete model from an unsorted mode list (sorted, deduplicated).
     pub fn discrete(modes: impl Into<Vec<f64>>) -> Self {
-        SpeedModel::Discrete { modes: normalise_modes(modes.into()) }
+        SpeedModel::Discrete {
+            modes: normalise_modes(modes.into()),
+        }
     }
 
     /// A VDD-hopping model from an unsorted mode list.
     pub fn vdd_hopping(modes: impl Into<Vec<f64>>) -> Self {
-        SpeedModel::VddHopping { modes: normalise_modes(modes.into()) }
+        SpeedModel::VddHopping {
+            modes: normalise_modes(modes.into()),
+        }
     }
 
     /// An incremental model; panics on invalid parameters.
     pub fn incremental(fmin: f64, fmax: f64, delta: f64) -> Self {
-        assert!(fmin > 0.0 && fmax >= fmin && delta > 0.0, "invalid incremental parameters");
+        assert!(
+            fmin > 0.0 && fmax >= fmin && delta > 0.0,
+            "invalid incremental parameters"
+        );
         SpeedModel::Incremental { fmin, fmax, delta }
     }
 
@@ -98,18 +105,19 @@ impl SpeedModel {
     /// trivially — although a constant speed is always optimal there — and
     /// VDD-HOPPING is defined by it).
     pub fn allows_mid_task_switch(&self) -> bool {
-        matches!(self, SpeedModel::Continuous { .. } | SpeedModel::VddHopping { .. })
+        matches!(
+            self,
+            SpeedModel::Continuous { .. } | SpeedModel::VddHopping { .. }
+        )
     }
 
     /// True if `f` is an admissible (single) speed under this model.
     pub fn admissible(&self, f: f64) -> bool {
         match self {
-            SpeedModel::Continuous { fmin, fmax } => {
-                f >= fmin - SPEED_EPS && f <= fmax + SPEED_EPS
-            }
-            SpeedModel::Discrete { modes } | SpeedModel::VddHopping { modes } => {
-                modes.iter().any(|m| (m - f).abs() <= SPEED_EPS * m.max(1.0))
-            }
+            SpeedModel::Continuous { fmin, fmax } => f >= fmin - SPEED_EPS && f <= fmax + SPEED_EPS,
+            SpeedModel::Discrete { modes } | SpeedModel::VddHopping { modes } => modes
+                .iter()
+                .any(|m| (m - f).abs() <= SPEED_EPS * m.max(1.0)),
             SpeedModel::Incremental { fmin, fmax, delta } => {
                 if f < fmin - SPEED_EPS || f > fmax + SPEED_EPS {
                     return false;
@@ -134,10 +142,9 @@ impl SpeedModel {
                     Some(f.max(*fmin))
                 }
             }
-            SpeedModel::Discrete { modes } | SpeedModel::VddHopping { modes } => modes
-                .iter()
-                .copied()
-                .find(|&m| m >= f - SPEED_EPS),
+            SpeedModel::Discrete { modes } | SpeedModel::VddHopping { modes } => {
+                modes.iter().copied().find(|&m| m >= f - SPEED_EPS)
+            }
             SpeedModel::Incremental { fmin, fmax, delta } => {
                 if f > self.fmax() + SPEED_EPS {
                     return None;
@@ -166,6 +173,9 @@ impl SpeedModel {
         }
         let mut lo = modes[0];
         for &m in &modes {
+            if (m - f).abs() <= SPEED_EPS * m.max(1.0) {
+                return Some((m, m));
+            }
             if m <= f + SPEED_EPS {
                 lo = m;
             } else {
@@ -230,7 +240,8 @@ mod tests {
         let m = SpeedModel::vdd_hopping(vec![1.0, 2.0, 4.0]);
         assert_eq!(m.bracket(1.5), Some((1.0, 2.0)));
         assert_eq!(m.bracket(3.0), Some((2.0, 4.0)));
-        assert_eq!(m.bracket(2.0), Some((2.0, 4.0))); // lo = exact mode
+        assert_eq!(m.bracket(2.0), Some((2.0, 2.0))); // exact mode: degenerate bracket
+        assert_eq!(m.bracket(1.0), Some((1.0, 1.0)));
         assert_eq!(m.bracket(4.0), Some((4.0, 4.0)));
         assert_eq!(m.bracket(0.5), None);
         assert_eq!(m.bracket(4.5), None);
@@ -253,7 +264,10 @@ mod tests {
     fn incremental_round_up_exact_gridpoint() {
         let m = SpeedModel::incremental(1.0, 3.0, 0.5);
         let r = m.round_up(1.5).unwrap();
-        assert!((r - 1.5).abs() < 1e-9, "exact grid point must not round past itself: {r}");
+        assert!(
+            (r - 1.5).abs() < 1e-9,
+            "exact grid point must not round past itself: {r}"
+        );
     }
 
     #[test]

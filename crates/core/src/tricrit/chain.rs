@@ -108,9 +108,19 @@ fn to_solution(speeds: Vec<f64>, energy: f64, reexec: Vec<bool>) -> TriCritSolut
     let tasks = speeds
         .iter()
         .zip(&reexec)
-        .map(|(&f, &r)| if r { TaskSchedule::twice(f, f) } else { TaskSchedule::once(f) })
+        .map(|(&f, &r)| {
+            if r {
+                TaskSchedule::twice(f, f)
+            } else {
+                TaskSchedule::once(f)
+            }
+        })
         .collect();
-    TriCritSolution { schedule: Schedule { tasks }, energy, reexecuted: reexec }
+    TriCritSolution {
+        schedule: Schedule { tasks },
+        energy,
+        reexecuted: reexec,
+    }
 }
 
 /// The paper's chain strategy with greedy best-improvement selection of
@@ -124,8 +134,8 @@ pub fn solve_greedy(
 ) -> Result<TriCritSolution, CoreError> {
     let n = weights.len();
     let mut reexec = vec![false; n];
-    let (mut speeds, mut energy) = evaluate_subset(weights, deadline, rel, &reexec)
-        .ok_or(CoreError::InfeasibleDeadline {
+    let (mut speeds, mut energy) =
+        evaluate_subset(weights, deadline, rel, &reexec).ok_or(CoreError::InfeasibleDeadline {
             required: weights.iter().sum::<f64>() / rel.fmax,
             deadline,
         })?;
@@ -191,7 +201,10 @@ mod tests {
     }
 
     fn assert_close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-9), "{a} vs {b}");
+        assert!(
+            (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-9),
+            "{a} vs {b}"
+        );
     }
 
     #[test]

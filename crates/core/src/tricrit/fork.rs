@@ -36,7 +36,9 @@ fn branch_best(w: f64, t: f64, rel: &ReliabilityModel) -> Option<(f64, f64, bool
         best = Some((w * f_once * f_once, f_once, false));
     }
     // Twice (equal speeds): budget 2w/g, reliability floor g_min.
-    let g = (2.0 * w / t).max(rel.reexec_equal_speed_min(w)).max(rel.fmin);
+    let g = (2.0 * w / t)
+        .max(rel.reexec_equal_speed_min(w))
+        .max(rel.fmin);
     if g <= rel.fmax * (1.0 + 1e-12) {
         let e = 2.0 * w * g * g;
         if best.is_none_or(|(be, _, _)| e < be) {
@@ -53,7 +55,9 @@ fn branch_forced(w: f64, t: f64, rel: &ReliabilityModel, reexec: bool) -> Option
         return None;
     }
     if reexec {
-        let g = (2.0 * w / t).max(rel.reexec_equal_speed_min(w)).max(rel.fmin);
+        let g = (2.0 * w / t)
+            .max(rel.reexec_equal_speed_min(w))
+            .max(rel.fmin);
         (g <= rel.fmax * (1.0 + 1e-12)).then_some((2.0 * w * g * g, g))
     } else {
         let f = (w / t).max(rel.frel).max(rel.fmin);
@@ -62,13 +66,7 @@ fn branch_forced(w: f64, t: f64, rel: &ReliabilityModel, reexec: bool) -> Option
 }
 
 /// Total energy for a parallel-phase budget `t` (source gets `D − t`).
-fn total_energy(
-    w0: f64,
-    ws: &[f64],
-    deadline: f64,
-    rel: &ReliabilityModel,
-    t: f64,
-) -> Option<f64> {
+fn total_energy(w0: f64, ws: &[f64], deadline: f64, rel: &ReliabilityModel, t: f64) -> Option<f64> {
     let (e0, _, _) = branch_best(w0, deadline - t, rel)?;
     let mut e = e0;
     for &w in ws {
@@ -168,23 +166,37 @@ pub fn solve(
         consider(xm, eval(xm));
     }
     if !best_e.is_finite() {
-        return Err(CoreError::Infeasible("no feasible split of the deadline".into()));
+        return Err(CoreError::Infeasible(
+            "no feasible split of the deadline".into(),
+        ));
     }
 
     // Materialise the witness schedule at best_t.
     let mut tasks = Vec::with_capacity(ws.len() + 1);
     let mut reexecuted = Vec::with_capacity(ws.len() + 1);
     let (_, f0, r0) = branch_best(w0, deadline - best_t, rel).expect("feasible at best_t");
-    tasks.push(if r0 { TaskSchedule::twice(f0, f0) } else { TaskSchedule::once(f0) });
+    tasks.push(if r0 {
+        TaskSchedule::twice(f0, f0)
+    } else {
+        TaskSchedule::once(f0)
+    });
     reexecuted.push(r0);
     let mut energy = if r0 { 2.0 * w0 * f0 * f0 } else { w0 * f0 * f0 };
     for &w in ws {
         let (ei, f, r) = branch_best(w, best_t, rel).expect("feasible at best_t");
-        tasks.push(if r { TaskSchedule::twice(f, f) } else { TaskSchedule::once(f) });
+        tasks.push(if r {
+            TaskSchedule::twice(f, f)
+        } else {
+            TaskSchedule::once(f)
+        });
         reexecuted.push(r);
         energy += ei;
     }
-    Ok(TriCritSolution { schedule: Schedule { tasks }, energy, reexecuted })
+    Ok(TriCritSolution {
+        schedule: Schedule { tasks },
+        energy,
+        reexecuted,
+    })
 }
 
 /// Exponential reference: enumerate every re-execution subset of
@@ -231,15 +243,27 @@ pub fn solve_brute_force(
     let mut reexecuted = Vec::with_capacity(n + 1);
     let (_, f0) = branch_forced(w0, deadline - t, rel, mask & 1 == 1).expect("feasible");
     let r0 = mask & 1 == 1;
-    tasks.push(if r0 { TaskSchedule::twice(f0, f0) } else { TaskSchedule::once(f0) });
+    tasks.push(if r0 {
+        TaskSchedule::twice(f0, f0)
+    } else {
+        TaskSchedule::once(f0)
+    });
     reexecuted.push(r0);
     for (i, &w) in ws.iter().enumerate() {
         let r = mask >> (i + 1) & 1 == 1;
         let (_, f) = branch_forced(w, t, rel, r).expect("feasible");
-        tasks.push(if r { TaskSchedule::twice(f, f) } else { TaskSchedule::once(f) });
+        tasks.push(if r {
+            TaskSchedule::twice(f, f)
+        } else {
+            TaskSchedule::once(f)
+        });
         reexecuted.push(r);
     }
-    Ok(TriCritSolution { schedule: Schedule { tasks }, energy, reexecuted })
+    Ok(TriCritSolution {
+        schedule: Schedule { tasks },
+        energy,
+        reexecuted,
+    })
 }
 
 #[cfg(test)]

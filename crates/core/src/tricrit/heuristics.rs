@@ -77,10 +77,20 @@ fn to_solution(weights: &[f64], speeds: Vec<f64>, reexec: Vec<bool>) -> TriCritS
     let tasks = speeds
         .iter()
         .zip(&reexec)
-        .map(|(&f, &r)| if r { TaskSchedule::twice(f, f) } else { TaskSchedule::once(f) })
+        .map(|(&f, &r)| {
+            if r {
+                TaskSchedule::twice(f, f)
+            } else {
+                TaskSchedule::once(f)
+            }
+        })
         .collect();
     let energy = energy(weights, &speeds, &reexec);
-    TriCritSolution { schedule: Schedule { tasks }, energy, reexecuted: reexec }
+    TriCritSolution {
+        schedule: Schedule { tasks },
+        energy,
+        reexecuted: reexec,
+    }
 }
 
 /// Minimal common speed `λ` (water level) such that the makespan of the
@@ -125,12 +135,10 @@ pub fn heuristic_a(inst: &Instance, rel: &ReliabilityModel) -> Result<TriCritSol
     let n = inst.n_tasks();
     let w = inst.dag.weights();
     let mut reexec = vec![false; n];
-    let (_, mut speeds) = water_level(inst, rel, &reexec).ok_or(
-        CoreError::InfeasibleDeadline {
-            required: inst.makespan_at_uniform_speed(rel.fmax),
-            deadline: inst.deadline,
-        },
-    )?;
+    let (_, mut speeds) = water_level(inst, rel, &reexec).ok_or(CoreError::InfeasibleDeadline {
+        required: inst.makespan_at_uniform_speed(rel.fmax),
+        deadline: inst.deadline,
+    })?;
     let mut cur_energy = energy(w, &speeds, &reexec);
     loop {
         let mut best: Option<(usize, Vec<f64>, f64)> = None;
@@ -166,12 +174,10 @@ pub fn heuristic_b(inst: &Instance, rel: &ReliabilityModel) -> Result<TriCritSol
     let aug = inst.augmented_dag();
     let w = inst.dag.weights();
     let mut reexec = vec![false; n];
-    let (_, mut speeds) = water_level(inst, rel, &reexec).ok_or(
-        CoreError::InfeasibleDeadline {
-            required: inst.makespan_at_uniform_speed(rel.fmax),
-            deadline: inst.deadline,
-        },
-    )?;
+    let (_, mut speeds) = water_level(inst, rel, &reexec).ok_or(CoreError::InfeasibleDeadline {
+        required: inst.makespan_at_uniform_speed(rel.fmax),
+        deadline: inst.deadline,
+    })?;
 
     for _pass in 0..8 {
         let mut changed = false;
@@ -181,9 +187,7 @@ pub fn heuristic_b(inst: &Instance, rel: &ReliabilityModel) -> Result<TriCritSol
         loop {
             let dur = durations(w, &speeds, &reexec);
             let float = analysis::total_float(aug, &dur, inst.deadline);
-            let mut cand: Vec<usize> = (0..n)
-                .filter(|&i| !reexec[i] && float[i] > 1e-12)
-                .collect();
+            let mut cand: Vec<usize> = (0..n).filter(|&i| !reexec[i] && float[i] > 1e-12).collect();
             cand.sort_by(|&a, &b| float[b].partial_cmp(&float[a]).expect("finite floats"));
             let mut accepted = false;
             for i in cand {
@@ -276,7 +280,10 @@ mod tests {
             "makespan {ms} exceeds deadline {}",
             inst.deadline
         );
-        assert!(sol.schedule.reliability_ok(&inst.dag, rel), "reliability violated");
+        assert!(
+            sol.schedule.reliability_ok(&inst.dag, rel),
+            "reliability violated"
+        );
         let e = sol.schedule.energy(&inst.dag);
         assert!((e - sol.energy).abs() <= 1e-6 * e.max(1.0));
     }
@@ -292,7 +299,12 @@ mod tests {
         check_feasible(&inst, &rel, &a);
         check_feasible(&inst, &rel, &b);
         // On a chain H-B has no float to play with: H-A should win.
-        assert!(a.energy <= b.energy * (1.0 + 1e-9), "A {} vs B {}", a.energy, b.energy);
+        assert!(
+            a.energy <= b.energy * (1.0 + 1e-9),
+            "A {} vs B {}",
+            a.energy,
+            b.energy
+        );
     }
 
     #[test]
@@ -334,8 +346,7 @@ mod tests {
         for seed in 0..4u64 {
             let dag = generators::random_layered(4, 3, 0.4, 0.5, 2.0, seed);
             let inst =
-                Instance::mapped_by_list_scheduling(dag, Platform::new(3), rel.fmax, 1e9)
-                    .unwrap();
+                Instance::mapped_by_list_scheduling(dag, Platform::new(3), rel.fmax, 1e9).unwrap();
             let d = 2.0 * inst.makespan_at_uniform_speed(rel.fmax);
             let inst = inst.with_deadline(d).unwrap();
             let (best, _) = best_of(&inst, &rel).unwrap();

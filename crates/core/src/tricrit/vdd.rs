@@ -65,7 +65,9 @@ fn adapt_execution(
             // Single mode: duration w/lo, check reliability directly.
             let p = rel.failure_prob(w, lo);
             if p <= p_budget * (1.0 + 1e-9) {
-                return Ok(ExecSpec::Vdd { segments: vec![(lo, w / lo)] });
+                return Ok(ExecSpec::Vdd {
+                    segments: vec![(lo, w / lo)],
+                });
             }
             lo = hi;
             continue;
@@ -116,7 +118,9 @@ fn adapt_execution(
     let fmax = *modes.last().expect("non-empty modes");
     let p = rel.failure_prob(w, fmax);
     if p <= p_budget * (1.0 + 1e-9) {
-        return Ok(ExecSpec::Vdd { segments: vec![(fmax, w / fmax)] });
+        return Ok(ExecSpec::Vdd {
+            segments: vec![(fmax, w / fmax)],
+        });
     }
     Err(CoreError::Infeasible(format!(
         "no mode combination meets the reliability budget for weight {w}"
@@ -194,7 +198,10 @@ mod tests {
             .schedule
             .validate(&dag, &model, &mapping, Some(d))
             .unwrap();
-        assert!(adapted.schedule.reliability_ok(&dag, &rel), "reliability lost");
+        assert!(
+            adapted.schedule.reliability_ok(&dag, &rel),
+            "reliability lost"
+        );
     }
 
     #[test]
@@ -220,10 +227,14 @@ mod tests {
         let cont = chain::solve_greedy(&w, d, &rel).unwrap();
         let dag = generators::chain(&w);
         let coarse = SpeedModel::vdd_hopping(vec![1.0, 2.0]);
-        let fine = SpeedModel::vdd_hopping((0..=20).map(|i| 1.0 + 0.05 * i as f64).collect::<Vec<_>>());
+        let fine =
+            SpeedModel::vdd_hopping((0..=20).map(|i| 1.0 + 0.05 * i as f64).collect::<Vec<_>>());
         let lc = adapt(&dag, &cont, &rel, &coarse).unwrap().loss_factor;
         let lf = adapt(&dag, &cont, &rel, &fine).unwrap().loss_factor;
-        assert!(lf <= lc * (1.0 + 1e-9), "finer modes should lose less: {lf} vs {lc}");
+        assert!(
+            lf <= lc * (1.0 + 1e-9),
+            "finer modes should lose less: {lf} vs {lc}"
+        );
     }
 
     #[test]
@@ -232,7 +243,9 @@ mod tests {
         let model = modes();
         // Force a continuous solution whose speed is exactly a mode.
         let cont = TriCritSolution {
-            schedule: Schedule { tasks: vec![TaskSchedule::once(1.8)] },
+            schedule: Schedule {
+                tasks: vec![TaskSchedule::once(1.8)],
+            },
             energy: 1.0 * 1.8 * 1.8,
             reexecuted: vec![false],
         };
@@ -246,7 +259,9 @@ mod tests {
         let rel = rel();
         let model = SpeedModel::vdd_hopping(vec![1.5, 2.0]);
         let cont = TriCritSolution {
-            schedule: Schedule { tasks: vec![TaskSchedule::once(1.0)] },
+            schedule: Schedule {
+                tasks: vec![TaskSchedule::once(1.0)],
+            },
             energy: 1.0,
             reexecuted: vec![false],
         };

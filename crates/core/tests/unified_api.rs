@@ -1,0 +1,126 @@
+//! Cross-model consistency through the unified `bicrit::solve` API.
+//!
+//! The paper's model-refinement hierarchy on one shared instance:
+//! CONTINUOUS relaxes VDD-HOPPING (mixing two adjacent modes
+//! under-approximates any real speed), which relaxes DISCRETE (hopping may
+//! mix, DISCRETE may not); and the INCREMENTAL approximation stays within
+//! its proven factor of the continuous optimum.
+
+use ea_core::bicrit::{self, BnbBound, SolveOptions};
+use ea_core::platform::Platform;
+use ea_core::speed::SpeedModel;
+use ea_core::Instance;
+use ea_taskgraph::generators;
+
+const FMIN: f64 = 1.0;
+const FMAX: f64 = 2.0;
+
+fn shared_instance(seed: u64, mult: f64) -> Instance {
+    let dag = generators::random_layered(3, 3, 0.4, 0.5, 2.0, seed);
+    let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(2), FMAX, f64::MAX)
+        .expect("mapping succeeds");
+    let d = mult * inst.makespan_at_uniform_speed(FMAX);
+    inst.with_deadline(d).expect("positive deadline")
+}
+
+#[test]
+fn vdd_never_beats_continuous_and_discrete_never_beats_vdd() {
+    let modes = vec![1.0, 1.25, 1.5, 1.75, 2.0];
+    let opts = SolveOptions::default();
+    for seed in 0..6u64 {
+        let inst = shared_instance(seed, 1.5);
+        let cont =
+            bicrit::solve(&inst, &SpeedModel::continuous(FMIN, FMAX), &opts).expect("feasible");
+        let vdd =
+            bicrit::solve(&inst, &SpeedModel::vdd_hopping(modes.clone()), &opts).expect("feasible");
+        let disc =
+            bicrit::solve(&inst, &SpeedModel::discrete(modes.clone()), &opts).expect("feasible");
+        // Continuous relaxes hopping: E(CONTINUOUS) ≤ E(VDD).
+        assert!(
+            cont.energy <= vdd.energy * (1.0 + 1e-6),
+            "seed {seed}: continuous {} vs VDD {}",
+            cont.energy,
+            vdd.energy
+        );
+        // Hopping relaxes discrete: E(VDD) ≤ E(DISCRETE).
+        assert!(
+            vdd.energy <= disc.energy * (1.0 + 1e-6),
+            "seed {seed}: VDD {} vs DISCRETE {}",
+            vdd.energy,
+            disc.energy
+        );
+    }
+}
+
+#[test]
+fn incremental_with_small_delta_stays_within_its_proven_factor_of_continuous() {
+    let delta = 0.05;
+    let opts = SolveOptions::default().with_accuracy_k(100);
+    for seed in 0..4u64 {
+        let inst = shared_instance(seed, 1.6);
+        let cont =
+            bicrit::solve(&inst, &SpeedModel::continuous(FMIN, FMAX), &opts).expect("feasible");
+        let inc = bicrit::solve(&inst, &SpeedModel::incremental(FMIN, FMAX, delta), &opts)
+            .expect("feasible");
+        let factor = inc.stats.proven_factor.expect("proven factor");
+        // Paper bound relative to the *continuous* optimum (which
+        // lower-bounds the incremental optimum).
+        assert!(
+            inc.energy <= factor * cont.energy * (1.0 + 1e-6),
+            "seed {seed}: E_inc {} vs bound {} × E_cont {}",
+            inc.energy,
+            factor,
+            cont.energy
+        );
+        // And never cheaper than the continuous relaxation.
+        assert!(cont.energy <= inc.energy * (1.0 + 1e-6), "seed {seed}");
+    }
+}
+
+#[test]
+fn bnb_bound_choice_changes_work_not_result() {
+    let modes = vec![1.0, 1.5, 2.0];
+    let model = SpeedModel::discrete(modes);
+    for seed in 0..3u64 {
+        let inst = shared_instance(seed, 1.5);
+        let simple = bicrit::solve(
+            &inst,
+            &model,
+            &SolveOptions::default().with_bnb_bound(BnbBound::Simple),
+        )
+        .expect("feasible");
+        let lp = bicrit::solve(
+            &inst,
+            &model,
+            &SolveOptions::default().with_bnb_bound(BnbBound::VddRelaxation),
+        )
+        .expect("feasible");
+        assert!(
+            (simple.energy - lp.energy).abs() <= 1e-9 * simple.energy,
+            "seed {seed}: both bounds are exact"
+        );
+        assert!(
+            lp.stats.bnb_nodes.expect("nodes") <= simple.stats.bnb_nodes.expect("nodes"),
+            "seed {seed}: the LP bound must not explore more nodes"
+        );
+    }
+}
+
+#[test]
+fn every_model_validates_and_meets_the_deadline() {
+    let opts = SolveOptions::default();
+    let inst = shared_instance(9, 1.6);
+    let models = [
+        SpeedModel::continuous(FMIN, FMAX),
+        SpeedModel::vdd_hopping(vec![1.0, 1.4, 2.0]),
+        SpeedModel::discrete(vec![1.0, 1.4, 2.0]),
+        SpeedModel::incremental(FMIN, FMAX, 0.2),
+    ];
+    for model in &models {
+        let sol = bicrit::solve(&inst, model, &opts).expect("feasible");
+        assert!(sol.makespan <= inst.deadline * (1.0 + 1e-6), "{model:?}");
+        sol.to_schedule()
+            .validate(&inst.dag, model, &inst.mapping, Some(inst.deadline))
+            .unwrap_or_else(|e| panic!("{model:?}: {e}"));
+    }
+}

@@ -1,0 +1,392 @@
+//! Parallel batch evaluation of scenario grids, with optional Monte-Carlo
+//! fault injection and a JSON-serialisable report.
+
+use crate::scenario::Scenario;
+use ea_core::bicrit::{self, SolveOptions};
+use ea_core::reliability::ReliabilityModel;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Knobs of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Processors of the platform every scenario is mapped onto.
+    pub procs: usize,
+    /// Solver options handed to [`bicrit::solve`] unchanged.
+    pub solve: SolveOptions,
+    /// When set, each solved scenario is fault-injected under this
+    /// reliability model by `ea-sim`; `None` skips the Monte-Carlo stage.
+    pub reliability: Option<ReliabilityModel>,
+    /// Monte-Carlo runs per scenario (when `reliability` is set).
+    pub mc_runs: usize,
+    /// Base seed of the Monte-Carlo campaigns (offset per scenario).
+    pub mc_seed: u64,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            procs: 2,
+            solve: SolveOptions::default(),
+            reliability: None,
+            mc_runs: 1_000,
+            mc_seed: 2024,
+        }
+    }
+}
+
+/// Aggregated Monte-Carlo fault statistics of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Monte-Carlo runs performed.
+    pub runs: usize,
+    /// Fraction of runs where every task succeeded.
+    pub app_success_rate: f64,
+    /// Mean energy actually consumed across runs.
+    pub mean_energy: f64,
+    /// Mean observed makespan.
+    pub mean_makespan: f64,
+    /// Worst per-task empirical failure rate.
+    pub worst_task_failure_rate: f64,
+    /// Mean number of injected faults per run.
+    pub mean_faults: f64,
+}
+
+/// Outcome of one scenario: the solved metrics, or the failure reason.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The scenario evaluated.
+    pub scenario: Scenario,
+    /// Task count of the materialised DAG (0 when instantiation failed).
+    pub n_tasks: usize,
+    /// The absolute deadline derived from the multiplier (`None` when
+    /// instantiation failed).
+    pub deadline: Option<f64>,
+    /// Energy of the solution, when solved.
+    pub energy: Option<f64>,
+    /// Achieved worst-case makespan, when solved.
+    pub makespan: Option<f64>,
+    /// Certified lower bound, when the solver produces one.
+    pub lower_bound: Option<f64>,
+    /// Wall-clock milliseconds spent solving this scenario.
+    pub solve_ms: f64,
+    /// Monte-Carlo fault statistics (when enabled and solved).
+    pub faults: Option<FaultStats>,
+    /// The error rendering, when the scenario failed (infeasible deadline,
+    /// bad parameters, …).
+    pub error: Option<String>,
+    /// Debug id of the OS thread that evaluated this scenario — makes the
+    /// rayon fan-out of a batch observable in the report.
+    pub worker: String,
+}
+
+impl ScenarioResult {
+    /// True if the scenario solved.
+    pub fn solved(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// The report of a batch run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Scenarios evaluated.
+    pub scenarios: usize,
+    /// Scenarios that solved.
+    pub solved: usize,
+    /// Scenarios that failed (typically: infeasible deadlines).
+    pub infeasible: usize,
+    /// Sum of the solved scenarios' energies.
+    pub total_energy: f64,
+    /// Wall-clock milliseconds of the whole batch.
+    pub wall_ms: f64,
+    /// Per-scenario outcomes, in input order.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl BatchReport {
+    /// Pretty-printed JSON rendering of the report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+}
+
+/// Evaluates one scenario: instantiate, solve through the unified
+/// dispatcher, optionally fault-inject the resulting schedule.
+pub fn run_scenario(scenario: &Scenario, opts: &BatchOptions) -> ScenarioResult {
+    let t0 = Instant::now();
+    let mut out = ScenarioResult {
+        scenario: scenario.clone(),
+        n_tasks: 0,
+        deadline: None,
+        energy: None,
+        makespan: None,
+        lower_bound: None,
+        solve_ms: 0.0,
+        faults: None,
+        error: None,
+        worker: format!("{:?}", std::thread::current().id()),
+    };
+    let inst = match scenario.instantiate(opts.procs) {
+        Ok(i) => i,
+        Err(e) => {
+            out.error = Some(e.to_string());
+            out.solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+            return out;
+        }
+    };
+    out.n_tasks = inst.n_tasks();
+    out.deadline = Some(inst.deadline);
+    match bicrit::solve(&inst, &scenario.model, &opts.solve) {
+        Ok(sol) => {
+            out.energy = Some(sol.energy);
+            out.makespan = Some(sol.makespan);
+            out.lower_bound = sol.lower_bound;
+            if let Some(rel) = &opts.reliability {
+                let sched = sol.to_schedule();
+                let seed = opts.mc_seed.wrapping_add(scenario.seed.wrapping_mul(7919));
+                let stats = ea_sim::run_monte_carlo(
+                    &inst.dag,
+                    &inst.mapping,
+                    &sched,
+                    rel,
+                    opts.mc_runs,
+                    seed,
+                );
+                out.faults = Some(FaultStats {
+                    runs: stats.runs,
+                    app_success_rate: stats.app_success_rate,
+                    mean_energy: stats.mean_energy,
+                    mean_makespan: stats.mean_makespan,
+                    worst_task_failure_rate: stats.worst_task_failure_rate(),
+                    mean_faults: stats.mean_faults,
+                });
+            }
+        }
+        Err(e) => out.error = Some(e.to_string()),
+    }
+    out.solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+    out
+}
+
+/// Worker count rayon will use (`RAYON_NUM_THREADS` or the hardware
+/// count) — mirrored here to stride the batch across workers.
+fn worker_count() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Evaluates every scenario in parallel (rayon fans the batch out over
+/// `RAYON_NUM_THREADS` workers) and aggregates a [`BatchReport`]. Results
+/// keep the input order, so a batch is deterministic for fixed seeds.
+///
+/// Scenario grids group expensive models contiguously (the grid is
+/// spec-major), and rayon hands each worker a *contiguous* chunk — so the
+/// batch is dealt out in strides first, giving every worker a mix of
+/// cheap and expensive scenarios, then restored to input order.
+pub fn run_batch(scenarios: &[Scenario], opts: &BatchOptions) -> BatchReport {
+    let t0 = Instant::now();
+    let n = scenarios.len();
+    let stride = worker_count().max(1);
+    let order: Vec<usize> = (0..stride).flat_map(|c| (c..n).step_by(stride)).collect();
+    let strided: Vec<ScenarioResult> = order
+        .iter()
+        .map(|&i| scenarios[i].clone())
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|s| run_scenario(&s, opts))
+        .collect();
+    let mut results: Vec<Option<ScenarioResult>> = vec![None; n];
+    for (slot, r) in order.into_iter().zip(strided) {
+        results[slot] = Some(r);
+    }
+    let results: Vec<ScenarioResult> = results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    let solved = results.iter().filter(|r| r.solved()).count();
+    let total_energy = results.iter().filter_map(|r| r.energy).sum();
+    BatchReport {
+        scenarios: results.len(),
+        solved,
+        infeasible: results.len() - solved,
+        total_energy,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DagSpec;
+    use ea_core::speed::SpeedModel;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// `batch_fans_out_over_worker_threads` mutates `RAYON_NUM_THREADS`
+    /// while every other batch test reads it (through the vendored rayon);
+    /// concurrent setenv/getenv is a data race in glibc, so every test
+    /// that runs a batch takes this lock first.
+    fn env_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn small_grid() -> Vec<Scenario> {
+        Scenario::grid(
+            &[DagSpec::Chain { n: 6 }, DagSpec::Fork { branches: 4 }],
+            &[
+                SpeedModel::continuous(1.0, 2.0),
+                SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+            ],
+            &[1.3, 1.7],
+            &[0, 1],
+        )
+    }
+
+    #[test]
+    fn batch_solves_the_grid_in_input_order() {
+        let _env = env_lock();
+        let scenarios = small_grid();
+        let report = run_batch(&scenarios, &BatchOptions::default());
+        assert_eq!(report.scenarios, scenarios.len());
+        assert_eq!(report.solved, scenarios.len(), "loose deadlines all solve");
+        for (r, s) in report.results.iter().zip(&scenarios) {
+            assert_eq!(&r.scenario, s, "input order preserved");
+            let ms = r.makespan.expect("solved");
+            let d = r.deadline.expect("instantiated");
+            assert!(ms <= d * (1.0 + 1e-6), "{}: {ms} > {d}", s.label());
+        }
+        assert!(report.total_energy > 0.0);
+    }
+
+    #[test]
+    fn batch_is_deterministic() {
+        let _env = env_lock();
+        let scenarios = small_grid();
+        let opts = BatchOptions::default();
+        let a = run_batch(&scenarios, &opts);
+        let b = run_batch(&scenarios, &opts);
+        let energies =
+            |r: &BatchReport| -> Vec<Option<f64>> { r.results.iter().map(|x| x.energy).collect() };
+        assert_eq!(energies(&a), energies(&b));
+    }
+
+    #[test]
+    fn infeasible_scenarios_are_reported_not_fatal() {
+        let _env = env_lock();
+        let mut scenarios = small_grid();
+        scenarios.push(Scenario {
+            dag: DagSpec::Chain { n: 4 },
+            model: SpeedModel::continuous(1.0, 2.0),
+            deadline_mult: 0.5, // below the fmax makespan: infeasible
+            seed: 0,
+        });
+        let report = run_batch(&scenarios, &BatchOptions::default());
+        assert_eq!(report.infeasible, 1);
+        let bad = report.results.last().expect("present");
+        assert!(!bad.solved());
+        assert!(bad.error.as_deref().expect("reason").contains("infeasible"));
+    }
+
+    #[test]
+    fn monte_carlo_stage_attaches_fault_stats() {
+        let _env = env_lock();
+        let scenarios = vec![Scenario {
+            dag: DagSpec::Chain { n: 5 },
+            model: SpeedModel::continuous(1.0, 2.0),
+            deadline_mult: 1.5,
+            seed: 3,
+        }];
+        let opts = BatchOptions {
+            reliability: Some(ReliabilityModel::new(0.01, 3.0, 1.0, 2.0, 1.8)),
+            mc_runs: 500,
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&scenarios, &opts);
+        let stats = report.results[0].faults.clone().expect("MC ran");
+        assert_eq!(stats.runs, 500);
+        assert!(stats.app_success_rate > 0.0 && stats.app_success_rate <= 1.0);
+        assert!(stats.mean_energy <= report.results[0].energy.expect("solved") * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let _env = env_lock();
+        let scenarios = vec![Scenario {
+            dag: DagSpec::Chain { n: 4 },
+            model: SpeedModel::discrete(vec![1.0, 2.0]),
+            deadline_mult: 1.4,
+            seed: 1,
+        }];
+        let report = run_batch(&scenarios, &BatchOptions::default());
+        let json = report.to_json();
+        assert!(json.contains("\"results\""), "{json}");
+        let back: BatchReport = serde_json::from_str(&json).expect("roundtrips");
+        assert_eq!(back.scenarios, report.scenarios);
+    }
+
+    #[test]
+    fn batch_fans_out_over_worker_threads() {
+        let _env = env_lock();
+        // 32 scenarios with 4 workers requested: the report must show more
+        // than one distinct OS thread doing the solving (wall-clock
+        // speedup on multi-core hardware is anchored by e11_batch_engine).
+        let scenarios = Scenario::grid(
+            &[DagSpec::Chain { n: 6 }],
+            &[
+                SpeedModel::continuous(1.0, 2.0),
+                SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+            ],
+            &[1.3, 1.7],
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+        );
+        assert_eq!(scenarios.len(), 32);
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let report = run_batch(&scenarios, &BatchOptions::default());
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let workers: std::collections::HashSet<&str> =
+            report.results.iter().map(|r| r.worker.as_str()).collect();
+        assert!(
+            workers.len() > 1,
+            "expected parallel fan-out, saw workers: {workers:?}"
+        );
+        assert_eq!(report.solved, 32);
+    }
+
+    #[test]
+    fn large_batch_completes_across_models() {
+        let _env = env_lock();
+        // The acceptance-criteria batch shape: ≥ 32 scenarios spanning all
+        // four models (the wall-clock speedup itself is anchored by the
+        // e11_batch_engine criterion bench).
+        let scenarios = Scenario::grid(
+            &[
+                DagSpec::Chain { n: 8 },
+                DagSpec::Layered {
+                    layers: 3,
+                    width: 3,
+                },
+            ],
+            &[
+                SpeedModel::continuous(1.0, 2.0),
+                SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+                SpeedModel::discrete(vec![1.0, 1.5, 2.0]),
+                SpeedModel::incremental(1.0, 2.0, 0.25),
+            ],
+            &[1.4, 1.8],
+            &[0, 1],
+        );
+        assert!(scenarios.len() >= 32);
+        let report = run_batch(&scenarios, &BatchOptions::default());
+        assert_eq!(report.solved, scenarios.len());
+    }
+}

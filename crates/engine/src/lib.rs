@@ -1,0 +1,36 @@
+//! # ea-engine
+//!
+//! The scenario engine: evaluate the BI-CRIT solvers over *grids* of
+//! workloads instead of one instance at a time. This is the batch layer
+//! the ROADMAP's production north star builds on — many (DAG family ×
+//! speed model × deadline tightness × seed) combinations solved in
+//! parallel, each optionally fault-injected by `ea-sim`, aggregated into
+//! a serialisable report.
+//!
+//! * [`DagSpec`] — a parseable DAG-family specification (`chain:12`,
+//!   `layered:4x3`, …) shared with the `easched` CLI.
+//! * [`Scenario`] — one grid point; [`Scenario::grid`] builds the
+//!   cartesian product.
+//! * [`run_batch`] — evaluates scenarios in parallel (rayon) through
+//!   [`ea_core::bicrit::solve`], returning a [`BatchReport`] with
+//!   per-scenario [`ScenarioResult`]s and JSON serialisation.
+//!
+//! ```no_run
+//! use ea_engine::{run_batch, BatchOptions, DagSpec, Scenario};
+//! use ea_core::speed::SpeedModel;
+//!
+//! let scenarios = Scenario::grid(
+//!     &[DagSpec::parse("chain:10").unwrap(), DagSpec::parse("fork:8").unwrap()],
+//!     &[SpeedModel::continuous(1.0, 2.0), SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0])],
+//!     &[1.2, 1.6],
+//!     &[0, 1, 2],
+//! );
+//! let report = run_batch(&scenarios, &BatchOptions::default());
+//! println!("{}", report.to_json());
+//! ```
+
+mod batch;
+mod scenario;
+
+pub use batch::{run_batch, BatchOptions, BatchReport, FaultStats, ScenarioResult};
+pub use scenario::{DagSpec, Scenario};

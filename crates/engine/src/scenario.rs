@@ -1,0 +1,292 @@
+//! Scenario grids: DAG-family specifications and their cartesian product
+//! with speed models, deadline multipliers, and seeds.
+
+use ea_core::error::CoreError;
+use ea_core::instance::Instance;
+use ea_core::platform::Platform;
+use ea_core::speed::SpeedModel;
+use ea_taskgraph::{generators, Dag};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A DAG-family specification, parseable from the `kind:param` strings the
+/// `easched` CLI uses (`chain:12`, `fork:8`, `layered:4x3`, `stencil:5x5`,
+/// `gauss:4`).
+///
+/// Random families (`chain`, `fork`, `layered`) draw weights in
+/// `[0.5, 2.5)` from the scenario seed; the structured kernels (`stencil`,
+/// `gauss`) use unit weights, as in the experiment harness.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DagSpec {
+    /// A linear chain of `n` tasks.
+    Chain {
+        /// Number of tasks.
+        n: usize,
+    },
+    /// A source plus `branches` independent branch tasks.
+    Fork {
+        /// Number of branches.
+        branches: usize,
+    },
+    /// A random layered DAG (`layers` × `width`, edge density 0.35).
+    Layered {
+        /// Number of layers.
+        layers: usize,
+        /// Tasks per layer.
+        width: usize,
+    },
+    /// A 2-D stencil wavefront (`rows` × `cols`).
+    Stencil {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// A tiled Gaussian-elimination kernel DAG on `tiles` tiles.
+    Gauss {
+        /// Tile count `b` (the DAG has `O(b²)` tasks).
+        tiles: usize,
+    },
+}
+
+impl DagSpec {
+    /// Parses a `kind:param` specification; returns a usage message on
+    /// malformed or non-positive parameters.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, param) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("dag spec `{spec}` needs kind:param"))?;
+        let positive = |s: &str, what: &str| -> Result<usize, String> {
+            let v: usize = s.trim().parse().map_err(|e| format!("{what}: {e}"))?;
+            if v == 0 {
+                return Err(format!("{what} must be ≥ 1"));
+            }
+            Ok(v)
+        };
+        let pair = |p: &str, what: &str| -> Result<(usize, usize), String> {
+            let (a, b) = p
+                .split_once('x')
+                .ok_or_else(|| format!("{what} needs AxB, got `{p}`"))?;
+            Ok((positive(a, what)?, positive(b, what)?))
+        };
+        match kind {
+            "chain" => Ok(DagSpec::Chain {
+                n: positive(param, "chain size")?,
+            }),
+            "fork" => Ok(DagSpec::Fork {
+                branches: positive(param, "fork size")?,
+            }),
+            "layered" => {
+                let (layers, width) = pair(param, "layered dims")?;
+                Ok(DagSpec::Layered { layers, width })
+            }
+            "stencil" => {
+                let (rows, cols) = pair(param, "stencil dims")?;
+                Ok(DagSpec::Stencil { rows, cols })
+            }
+            "gauss" => Ok(DagSpec::Gauss {
+                tiles: positive(param, "gauss tiles")?,
+            }),
+            other => Err(format!(
+                "unknown dag kind `{other}` (expected chain|fork|layered|stencil|gauss)"
+            )),
+        }
+    }
+
+    /// Materialises the DAG for a given seed.
+    pub fn build(&self, seed: u64) -> Dag {
+        match *self {
+            DagSpec::Chain { n } => {
+                generators::chain(&generators::random_weights(n, 0.5, 2.5, seed))
+            }
+            DagSpec::Fork { branches } => {
+                generators::fork(1.5, &generators::random_weights(branches, 0.5, 2.5, seed))
+            }
+            DagSpec::Layered { layers, width } => {
+                generators::random_layered(layers, width, 0.35, 0.5, 2.5, seed)
+            }
+            DagSpec::Stencil { rows, cols } => generators::stencil_wavefront(rows, cols, 1.0),
+            DagSpec::Gauss { tiles } => generators::gaussian_elimination(tiles, 1.0),
+        }
+    }
+}
+
+impl fmt::Display for DagSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DagSpec::Chain { n } => write!(f, "chain:{n}"),
+            DagSpec::Fork { branches } => write!(f, "fork:{branches}"),
+            DagSpec::Layered { layers, width } => write!(f, "layered:{layers}x{width}"),
+            DagSpec::Stencil { rows, cols } => write!(f, "stencil:{rows}x{cols}"),
+            DagSpec::Gauss { tiles } => write!(f, "gauss:{tiles}"),
+        }
+    }
+}
+
+impl FromStr for DagSpec {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        DagSpec::parse(s)
+    }
+}
+
+/// One point of a scenario grid: which DAG family, under which speed
+/// model, how tight a deadline, and which random seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The DAG family to instantiate.
+    pub dag: DagSpec,
+    /// The speed model to solve under.
+    pub model: SpeedModel,
+    /// Deadline as a multiple of the all-`f_max` makespan (`> 1` leaves
+    /// slack for DVFS; `≤ 1` is at or beyond the feasibility edge).
+    pub deadline_mult: f64,
+    /// Seed for the random DAG weights.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The cartesian product `specs × models × mults × seeds`, in
+    /// deterministic row-major order.
+    pub fn grid(
+        specs: &[DagSpec],
+        models: &[SpeedModel],
+        mults: &[f64],
+        seeds: &[u64],
+    ) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(specs.len() * models.len() * mults.len() * seeds.len());
+        for spec in specs {
+            for model in models {
+                for &deadline_mult in mults {
+                    for &seed in seeds {
+                        out.push(Scenario {
+                            dag: spec.clone(),
+                            model: model.clone(),
+                            deadline_mult,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A short human-readable label (`chain:10 ×1.5 seed 3`).
+    pub fn label(&self) -> String {
+        format!("{} ×{} seed {}", self.dag, self.deadline_mult, self.seed)
+    }
+
+    /// Builds the mapped [`Instance`]: materialise the DAG, map it with
+    /// the critical-path list scheduler at the model's `f_max`, and set
+    /// the deadline to `deadline_mult ×` the all-`f_max` makespan.
+    pub fn instantiate(&self, procs: usize) -> Result<Instance, CoreError> {
+        if procs == 0 {
+            return Err(CoreError::Infeasible("need at least one processor".into()));
+        }
+        if !(self.deadline_mult.is_finite() && self.deadline_mult > 0.0) {
+            return Err(CoreError::Infeasible(format!(
+                "bad deadline multiplier {}",
+                self.deadline_mult
+            )));
+        }
+        let fmax = self.model.fmax();
+        let dag = self.dag.build(self.seed);
+        let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(procs), fmax, f64::MAX)?;
+        let deadline = self.deadline_mult * inst.makespan_at_uniform_speed(fmax);
+        inst.with_deadline(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_through_display() {
+        for s in [
+            "chain:12",
+            "fork:8",
+            "layered:4x3",
+            "stencil:5x5",
+            "gauss:4",
+        ] {
+            let spec = DagSpec::parse(s).expect("valid spec");
+            assert_eq!(spec.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for s in [
+            "chain",
+            "chain:0",
+            "chain:-3",
+            "layered:4",
+            "layered:0x3",
+            "ring:5",
+        ] {
+            assert!(DagSpec::parse(s).is_err(), "`{s}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn grid_is_the_full_product() {
+        let specs = [DagSpec::Chain { n: 4 }, DagSpec::Fork { branches: 3 }];
+        let models = [
+            SpeedModel::continuous(1.0, 2.0),
+            SpeedModel::discrete(vec![1.0, 2.0]),
+        ];
+        let g = Scenario::grid(&specs, &models, &[1.2, 1.6, 2.0], &[0, 1]);
+        assert_eq!(g.len(), 2 * 2 * 3 * 2);
+        // Deterministic order: first block is the first spec × first model.
+        assert_eq!(g[0].dag, specs[0]);
+        assert_eq!(g[0].model, models[0]);
+    }
+
+    #[test]
+    fn instantiate_sets_deadline_from_mult() {
+        let sc = Scenario {
+            dag: DagSpec::Chain { n: 5 },
+            model: SpeedModel::continuous(1.0, 2.0),
+            deadline_mult: 1.5,
+            seed: 7,
+        };
+        let inst = sc.instantiate(2).expect("valid");
+        let base = inst.makespan_at_uniform_speed(2.0);
+        assert!((inst.deadline - 1.5 * base).abs() <= 1e-9 * inst.deadline);
+    }
+
+    #[test]
+    fn instantiate_rejects_bad_parameters() {
+        let sc = Scenario {
+            dag: DagSpec::Chain { n: 3 },
+            model: SpeedModel::continuous(1.0, 2.0),
+            deadline_mult: f64::NAN,
+            seed: 0,
+        };
+        assert!(sc.instantiate(2).is_err());
+        let sc2 = Scenario {
+            deadline_mult: 1.5,
+            ..sc
+        };
+        assert!(sc2.instantiate(0).is_err());
+    }
+
+    #[test]
+    fn scenario_serialises_and_roundtrips() {
+        let sc = Scenario {
+            dag: DagSpec::Layered {
+                layers: 4,
+                width: 3,
+            },
+            model: SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+            deadline_mult: 1.4,
+            seed: 11,
+        };
+        let json = serde_json::to_string(&sc).expect("serialises");
+        let back: Scenario = serde_json::from_str(&json).expect("deserialises");
+        assert_eq!(back, sc);
+    }
+}

@@ -130,7 +130,10 @@ mod tests {
     #[test]
     fn singular_detected() {
         let a = Matrix::from_nested(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(LuFactors::new(&a), Err(MatrixError::Singular { .. })));
+        assert!(matches!(
+            LuFactors::new(&a),
+            Err(MatrixError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -7,7 +7,10 @@ use std::ops::{Index, IndexMut};
 #[derive(Debug, Clone, PartialEq)]
 pub enum MatrixError {
     /// Dimensions do not agree for the requested operation.
-    DimensionMismatch { expected: (usize, usize), got: (usize, usize) },
+    DimensionMismatch {
+        expected: (usize, usize),
+        got: (usize, usize),
+    },
     /// The matrix is singular (or numerically so) at the given pivot.
     Singular { pivot: usize },
     /// Cholesky requires a symmetric positive definite input.
@@ -41,7 +44,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -78,7 +85,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -202,8 +213,8 @@ mod tests {
     #[test]
     fn identity_mul() {
         let i3 = Matrix::identity(3);
-        let a = Matrix::from_nested(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]])
-            .unwrap();
+        let a =
+            Matrix::from_nested(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
         assert_eq!(i3.mul(&a).unwrap(), a);
         assert_eq!(a.mul(&i3).unwrap(), a);
     }
@@ -228,7 +239,10 @@ mod tests {
     fn dimension_checks() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.mul(&b), Err(MatrixError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.mul(&b),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
         assert!(Matrix::from_rows(2, 2, vec![1.0; 3]).is_err());
         assert!(Matrix::from_nested(&[&[1.0, 2.0], &[1.0]]).is_err());
     }

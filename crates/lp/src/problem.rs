@@ -87,7 +87,11 @@ impl LpProblem {
                 merged.push((v, c));
             }
         }
-        self.rows.push(Row { coeffs: merged, cmp, rhs });
+        self.rows.push(Row {
+            coeffs: merged,
+            cmp,
+            rhs,
+        });
     }
 
     /// Solves with the two-phase primal simplex.

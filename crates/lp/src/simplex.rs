@@ -344,7 +344,11 @@ pub fn solve(lp: &LpProblem) -> LpOutcome {
         }
     }
     let objective = lp.objective_value(&x);
-    LpOutcome::Optimal(LpSolution { objective, x, pivots: t.pivots })
+    LpOutcome::Optimal(LpSolution {
+        objective,
+        x,
+        pivots: t.pivots,
+    })
 }
 
 #[cfg(test)]
@@ -420,8 +424,16 @@ mod tests {
         lp.set_objective(1, 150.0);
         lp.set_objective(2, -0.02);
         lp.set_objective(3, 6.0);
-        lp.add_constraint(&[(0, 0.25), (1, -60.0), (2, -1.0 / 25.0), (3, 9.0)], Cmp::Le, 0.0);
-        lp.add_constraint(&[(0, 0.5), (1, -90.0), (2, -1.0 / 50.0), (3, 3.0)], Cmp::Le, 0.0);
+        lp.add_constraint(
+            &[(0, 0.25), (1, -60.0), (2, -1.0 / 25.0), (3, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            &[(0, 0.5), (1, -90.0), (2, -1.0 / 50.0), (3, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
         lp.add_constraint(&[(2, 1.0)], Cmp::Le, 1.0);
         let s = lp.solve().expect_optimal("Beale instance is solvable");
         assert_close(s.objective, -0.05);

@@ -130,7 +130,9 @@ mod tests {
         let rel = ReliabilityModel::new(1e-300, 3.0, 1.0, 2.0, 1.8);
         let dag = generators::chain(&[2.0]);
         let mapping = Mapping::single_processor(vec![0]);
-        let sched = Schedule { tasks: vec![TaskSchedule::twice(1.0, 1.0)] };
+        let sched = Schedule {
+            tasks: vec![TaskSchedule::twice(1.0, 1.0)],
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let r = simulate(&dag, &mapping, &sched, &rel, &mut rng);
         // only the first execution ran: energy w·f² = 2, makespan 2
@@ -143,7 +145,9 @@ mod tests {
         let rel = ReliabilityModel::new(1e9, 0.0, 1.0, 2.0, 1.8);
         let dag = generators::chain(&[2.0]);
         let mapping = Mapping::single_processor(vec![0]);
-        let sched = Schedule { tasks: vec![TaskSchedule::twice(1.0, 1.0)] };
+        let sched = Schedule {
+            tasks: vec![TaskSchedule::twice(1.0, 1.0)],
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let r = simulate(&dag, &mapping, &sched, &rel, &mut rng);
         assert!(!r.success);
@@ -156,8 +160,7 @@ mod tests {
     fn parallel_branches_overlap_in_time() {
         let rel = ReliabilityModel::new(1e-300, 3.0, 1.0, 2.0, 1.8);
         let dag = generators::fork(1.0, &[2.0, 2.0]);
-        let mapping =
-            Mapping::new(vec![0, 0, 1], vec![vec![0, 1], vec![2]]).unwrap();
+        let mapping = Mapping::new(vec![0, 0, 1], vec![vec![0, 1], vec![2]]).unwrap();
         let sched = Schedule::uniform(3, 1.0);
         let mut rng = StdRng::seed_from_u64(5);
         let r = simulate(&dag, &mapping, &sched, &rel, &mut rng);

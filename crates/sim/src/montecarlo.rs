@@ -119,11 +119,7 @@ pub fn run_monte_carlo(
 
 /// Analytic per-task ultimate-failure probabilities of a schedule — what
 /// the empirical rates should converge to.
-pub fn expected_failure_probs(
-    dag: &Dag,
-    schedule: &Schedule,
-    rel: &ReliabilityModel,
-) -> Vec<f64> {
+pub fn expected_failure_probs(dag: &Dag, schedule: &Schedule, rel: &ReliabilityModel) -> Vec<f64> {
     schedule
         .tasks
         .iter()
@@ -169,7 +165,9 @@ mod tests {
         let mapping = Mapping::single_processor(vec![0]);
         let f = 1.2;
         let once = Schedule::from_speeds(&[f]);
-        let twice = Schedule { tasks: vec![TaskSchedule::twice(f, f)] };
+        let twice = Schedule {
+            tasks: vec![TaskSchedule::twice(f, f)],
+        };
         let s1 = run_monte_carlo(&dag, &mapping, &once, &rel, 60_000, 1);
         let s2 = run_monte_carlo(&dag, &mapping, &twice, &rel, 60_000, 2);
         let p = rel.failure_prob(1.0, f);

@@ -23,9 +23,7 @@ pub fn earliest_start(dag: &Dag, dur: &[f64]) -> Vec<f64> {
 /// Length of the longest (critical) path, measured in duration units.
 pub fn critical_path_length(dag: &Dag, dur: &[f64]) -> f64 {
     let est = earliest_start(dag, dur);
-    (0..dag.len())
-        .map(|t| est[t] + dur[t])
-        .fold(0.0, f64::max)
+    (0..dag.len()).map(|t| est[t] + dur[t]).fold(0.0, f64::max)
 }
 
 /// Latest start times given a global deadline `horizon`.

@@ -254,7 +254,8 @@ pub fn fft_butterfly(log_n: usize, weight: f64) -> Dag {
         let half = 1usize << (s - 1);
         for i in 0..n {
             g.add_edge(id(s - 1, i), id(s, i)).expect("straight edge");
-            g.add_edge(id(s - 1, i ^ half), id(s, i)).expect("cross edge");
+            g.add_edge(id(s - 1, i ^ half), id(s, i))
+                .expect("cross edge");
         }
     }
     g

@@ -198,12 +198,16 @@ impl Dag {
 
     /// Tasks with no predecessors.
     pub fn sources(&self) -> Vec<TaskId> {
-        (0..self.len()).filter(|&t| self.preds[t].is_empty()).collect()
+        (0..self.len())
+            .filter(|&t| self.preds[t].is_empty())
+            .collect()
     }
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        (0..self.len()).filter(|&t| self.succs[t].is_empty()).collect()
+        (0..self.len())
+            .filter(|&t| self.succs[t].is_empty())
+            .collect()
     }
 
     /// True if `to` is reachable from `from` by following edges forward.
@@ -271,7 +275,11 @@ impl Dag {
         use std::fmt::Write as _;
         let mut out = String::from("digraph dag {\n  rankdir=LR;\n");
         for t in 0..self.len() {
-            let _ = writeln!(out, "  t{} [label=\"T{} (w={:.3})\"];", t, t, self.weights[t]);
+            let _ = writeln!(
+                out,
+                "  t{} [label=\"T{} (w={:.3})\"];",
+                t, t, self.weights[t]
+            );
         }
         for &(s, d) in &self.edges {
             let _ = writeln!(out, "  t{s} -> t{d};");
@@ -341,10 +349,22 @@ mod tests {
     #[test]
     fn rejects_bad_weights() {
         let mut g = Dag::new();
-        assert!(matches!(g.add_task(0.0), Err(DagError::InvalidWeight { .. })));
-        assert!(matches!(g.add_task(-1.0), Err(DagError::InvalidWeight { .. })));
-        assert!(matches!(g.add_task(f64::NAN), Err(DagError::InvalidWeight { .. })));
-        assert!(matches!(g.add_task(f64::INFINITY), Err(DagError::InvalidWeight { .. })));
+        assert!(matches!(
+            g.add_task(0.0),
+            Err(DagError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_task(-1.0),
+            Err(DagError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_task(f64::NAN),
+            Err(DagError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_task(f64::INFINITY),
+            Err(DagError::InvalidWeight { .. })
+        ));
         assert!(g.add_task(1e-9).is_ok());
     }
 
@@ -353,9 +373,15 @@ mod tests {
         let mut g = Dag::with_uniform_weights(3, 1.0);
         g.add_edge(0, 1).unwrap();
         g.add_edge(1, 2).unwrap();
-        assert_eq!(g.add_edge(2, 0), Err(DagError::WouldCycle { src: 2, dst: 0 }));
+        assert_eq!(
+            g.add_edge(2, 0),
+            Err(DagError::WouldCycle { src: 2, dst: 0 })
+        );
         assert_eq!(g.add_edge(1, 1), Err(DagError::SelfLoop(1)));
-        assert_eq!(g.add_edge(0, 1), Err(DagError::DuplicateEdge { src: 0, dst: 1 }));
+        assert_eq!(
+            g.add_edge(0, 1),
+            Err(DagError::DuplicateEdge { src: 0, dst: 1 })
+        );
         assert_eq!(g.add_edge(0, 7), Err(DagError::UnknownTask(7)));
     }
 

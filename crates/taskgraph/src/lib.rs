@@ -27,4 +27,4 @@ pub mod graph;
 pub mod sp;
 
 pub use graph::{Dag, DagError, EdgeId, TaskId};
-pub use sp::{SpTree, SpError};
+pub use sp::{SpError, SpTree};

@@ -65,7 +65,10 @@ impl SpTree {
 
     /// Leaf bound to an existing task id.
     pub fn leaf_for(task: TaskId, weight: f64) -> Self {
-        SpTree::Leaf { weight, task: Some(task) }
+        SpTree::Leaf {
+            weight,
+            task: Some(task),
+        }
     }
 
     /// Series constructor; flattens nested series and drops empty children.
@@ -160,7 +163,8 @@ impl SpTree {
     /// left part to all sources of the right part.
     pub fn to_dag(&self) -> Dag {
         let mut g = Dag::new();
-        self.render(&mut g).expect("SP rendering is acyclic by construction");
+        self.render(&mut g)
+            .expect("SP rendering is acyclic by construction");
         g
     }
 
@@ -331,12 +335,19 @@ mod tests {
     use crate::generators;
 
     fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0), "{a} vs {b}");
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
+            "{a} vs {b}"
+        );
     }
 
     #[test]
     fn algebra_chain() {
-        let t = SpTree::series(vec![SpTree::leaf(1.0), SpTree::leaf(2.0), SpTree::leaf(3.0)]);
+        let t = SpTree::series(vec![
+            SpTree::leaf(1.0),
+            SpTree::leaf(2.0),
+            SpTree::leaf(3.0),
+        ]);
         assert_close(t.equivalent_weight(), 6.0);
     }
 
@@ -369,7 +380,10 @@ mod tests {
             SpTree::Series(c) => assert_eq!(c.len(), 3),
             _ => panic!("expected series"),
         }
-        let p = SpTree::parallel(vec![SpTree::parallel(vec![SpTree::leaf(1.0)]), SpTree::leaf(2.0)]);
+        let p = SpTree::parallel(vec![
+            SpTree::parallel(vec![SpTree::leaf(1.0)]),
+            SpTree::leaf(2.0),
+        ]);
         match &p {
             SpTree::Parallel(c) => assert_eq!(c.len(), 2),
             _ => panic!("expected parallel"),

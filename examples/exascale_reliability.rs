@@ -26,9 +26,15 @@ fn main() {
     let mapping = Mapping::single_processor((0..w.len()).collect());
     let d = 3.0 * w.iter().sum::<f64>() / rel.fmax;
 
-    println!("chain of {} tasks, deadline {d:.2}, f_rel = {}", w.len(), rel.frel);
-    println!("worst per-task failure budget: {:.5}\n",
-        w.iter().map(|&wi| rel.target(wi)).fold(0.0f64, f64::max));
+    println!(
+        "chain of {} tasks, deadline {d:.2}, f_rel = {}",
+        w.len(),
+        rel.frel
+    );
+    println!(
+        "worst per-task failure budget: {:.5}\n",
+        w.iter().map(|&wi| rel.target(wi)).fold(0.0f64, f64::max)
+    );
 
     // TRI-CRIT: the paper's chain strategy.
     let tri = tricrit::chain::solve_greedy(&w, d, &rel).expect("feasible");
@@ -44,7 +50,10 @@ fn main() {
     let baseline = Schedule::uniform(w.len(), rel.frel);
     let naive = Schedule::uniform(w.len(), (w.iter().sum::<f64>() / d).max(rel.fmin));
 
-    println!("\n{:>28} {:>10} {:>12} {:>12} {:>11}", "schedule", "E(worst)", "E(actual)", "worst fail", "app success");
+    println!(
+        "\n{:>28} {:>10} {:>12} {:>12} {:>11}",
+        "schedule", "E(worst)", "E(actual)", "worst fail", "app success"
+    );
     for (label, sched) in [
         ("single @ f_rel", &baseline),
         ("naive DVFS (fills D)", &naive),
@@ -68,8 +77,7 @@ fn main() {
     println!(
         "\nfork (8 branches): energy {:.3}, re-executed: {:?}",
         fork.energy,
-        fork
-            .reexecuted
+        fork.reexecuted
             .iter()
             .enumerate()
             .filter(|(_, &r)| r)

@@ -1,5 +1,6 @@
 //! HPC workflow study: energy vs deadline for a tiled Gaussian-elimination
-//! DAG (the dependence pattern of right-looking LU) across speed models.
+//! DAG (the dependence pattern of right-looking LU) across speed models,
+//! all through the unified `bicrit::solve` dispatcher.
 //!
 //! This is the kind of workload the paper's introduction motivates:
 //! a legacy application with a fixed mapping, where only DVFS is available
@@ -9,7 +10,7 @@
 //! cargo run --release --example hpc_workflow
 //! ```
 
-use energy_aware_scheduling::core::bicrit::{continuous, incremental, vdd};
+use energy_aware_scheduling::core::bicrit::{self, SolveOptions};
 use energy_aware_scheduling::prelude::*;
 use energy_aware_scheduling::taskgraph::generators;
 
@@ -27,23 +28,31 @@ fn main() {
         "D/Dmin", "E_CONTINUOUS", "E_VDD(5)", "E_INCR(δ=.1)", "saved%"
     );
 
-    let modes = vec![1.0, 1.25, 1.5, 1.75, 2.0];
+    let models = [
+        SpeedModel::continuous(fmin, fmax),
+        SpeedModel::vdd_hopping(vec![1.0, 1.25, 1.5, 1.75, 2.0]),
+        SpeedModel::incremental(fmin, fmax, 0.1),
+    ];
+    let opts = SolveOptions::default();
     let all_fmax: f64 = inst.dag.weights().iter().map(|w| w * fmax * fmax).sum();
     for mult in [1.05, 1.2, 1.5, 2.0, 3.0] {
         let d = mult * base;
         let inst_d = inst.with_deadline(d).expect("positive deadline");
-        let cont = continuous::solve(&inst_d, fmin, fmax, &Default::default())
-            .expect("feasible deadline");
-        let hop = vdd::solve(inst_d.augmented_dag(), d, &modes).expect("feasible");
-        let inc = incremental::solve(inst_d.augmented_dag(), d, fmin, fmax, 0.1, 50)
-            .expect("feasible");
+        let energies: Vec<f64> = models
+            .iter()
+            .map(|m| {
+                bicrit::solve(&inst_d, m, &opts)
+                    .expect("feasible deadline")
+                    .energy
+            })
+            .collect();
         println!(
             "{:>8.2}  {:>12.3} {:>12.3} {:>12.3} {:>9.1}%",
             mult,
-            cont.energy,
-            hop.energy,
-            inc.energy,
-            100.0 * (1.0 - cont.energy / all_fmax),
+            energies[0],
+            energies[1],
+            energies[2],
+            100.0 * (1.0 - energies[0] / all_fmax),
         );
     }
 

@@ -1,20 +1,23 @@
 //! Quickstart: minimise the energy of a small mapped workflow under a
-//! deadline, under three speed models.
+//! deadline, under three speed models — all through the unified
+//! `bicrit::solve` dispatcher.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use energy_aware_scheduling::core::bicrit::{continuous, vdd};
-use energy_aware_scheduling::core::schedule::Schedule;
-use energy_aware_scheduling::core::speed::SpeedModel;
+use energy_aware_scheduling::core::bicrit::{self, SolveOptions};
 use energy_aware_scheduling::prelude::*;
 use energy_aware_scheduling::taskgraph::generators;
 
 fn main() {
     // 1. An application DAG: a fork-join with three branches.
     let dag = generators::fork_join(1.0, &[vec![2.0, 1.0], vec![3.0], vec![1.5, 0.5]], 1.0);
-    println!("application: {} tasks, {} edges", dag.len(), dag.edge_count());
+    println!(
+        "application: {} tasks, {} edges",
+        dag.len(),
+        dag.edge_count()
+    );
 
     // 2. Map it on 3 processors with the critical-path list scheduler, and
     //    pick a deadline 60% looser than the fastest possible execution.
@@ -27,46 +30,45 @@ fn main() {
     let inst = inst.with_deadline(deadline).expect("positive deadline");
     println!("deadline D = {deadline:.3} (fmax makespan × 1.6)");
 
-    // 3. CONTINUOUS model: closed form if the augmented DAG is
-    //    series-parallel, convex program otherwise.
-    let cont = continuous::solve(&inst, fmin, fmax, &Default::default())
-        .expect("deadline is feasible");
-    let sched = Schedule::from_speeds(&cont.speeds);
-    sched
-        .validate(&inst.dag, &SpeedModel::continuous(fmin, fmax), &inst.mapping, Some(deadline))
-        .expect("solver output is a valid schedule");
-    println!("CONTINUOUS   energy = {:.4}", cont.energy);
-
-    // 4. VDD-HOPPING: the paper's polynomial LP, five modes.
+    // 3. One entry point, three models: build the SpeedModel and let
+    //    bicrit::solve route to the right algorithm (closed forms / convex
+    //    program, LP, branch-and-bound).
+    let opts = SolveOptions::default();
     let modes = vec![0.5, 0.875, 1.25, 1.625, 2.0];
-    let hop = vdd::solve(inst.augmented_dag(), deadline, &modes).expect("feasible");
-    println!(
-        "VDD-HOPPING  energy = {:.4}  (max modes per task: {})",
-        hop.energy,
-        hop.max_modes_per_task()
-    );
+    let models = [
+        SpeedModel::continuous(fmin, fmax),
+        SpeedModel::vdd_hopping(modes.clone()),
+        SpeedModel::discrete(modes),
+    ];
+    let mut energies = Vec::new();
+    for model in &models {
+        let sol = bicrit::solve(&inst, model, &opts).expect("deadline is feasible");
+        sol.to_schedule()
+            .validate(&inst.dag, model, &inst.mapping, Some(deadline))
+            .expect("solver output is a valid schedule");
+        let name = match model {
+            SpeedModel::Continuous { .. } => "CONTINUOUS ",
+            SpeedModel::VddHopping { .. } => "VDD-HOPPING",
+            SpeedModel::Discrete { .. } => "DISCRETE   ",
+            SpeedModel::Incremental { .. } => "INCREMENTAL",
+        };
+        println!(
+            "{name}  energy = {:.4}  (makespan {:.3}, max modes/task {})",
+            sol.energy,
+            sol.makespan,
+            sol.max_modes_per_task()
+        );
+        energies.push(sol.energy);
+    }
 
-    // 5. DISCRETE upper bound: round the continuous speeds up to modes.
-    let discrete = SpeedModel::discrete(modes.clone());
-    let e_disc: f64 = inst
-        .dag
-        .weights()
-        .iter()
-        .zip(&cont.speeds)
-        .map(|(w, &f)| {
-            let fr = discrete.round_up(f).expect("speed within range");
-            w * fr * fr
-        })
-        .sum();
-    println!("DISCRETE     energy ≤ {e_disc:.4} (round-up heuristic)");
-
+    // 4. The paper's refinement hierarchy falls out of the shared API.
     println!(
         "\nmodel refinement: E_cont ({:.4}) ≤ E_vdd ({:.4}) ≤ E_disc ({:.4})",
-        cont.energy, hop.energy, e_disc
+        energies[0], energies[1], energies[2]
     );
     let all_fmax: f64 = inst.dag.weights().iter().map(|w| w * fmax * fmax).sum();
     println!(
         "energy saved vs all-fmax: {:.1}%",
-        100.0 * (1.0 - cont.energy / all_fmax)
+        100.0 * (1.0 - energies[0] / all_fmax)
     );
 }

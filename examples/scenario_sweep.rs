@@ -1,0 +1,75 @@
+//! Scenario sweep: evaluate a grid of (DAG family × speed model ×
+//! deadline tightness × seed) in parallel through the `ea-engine` batch
+//! runner, with Monte-Carlo fault injection on every solved schedule.
+//!
+//! ```text
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use energy_aware_scheduling::engine::{run_batch, BatchOptions, DagSpec, Scenario};
+use energy_aware_scheduling::prelude::*;
+
+fn main() {
+    let specs: Vec<DagSpec> = ["chain:12", "fork:8", "layered:4x3", "gauss:3"]
+        .iter()
+        .map(|s| DagSpec::parse(s).expect("valid spec"))
+        .collect();
+    let models = [
+        SpeedModel::continuous(1.0, 2.0),
+        SpeedModel::vdd_hopping(vec![1.0, 1.25, 1.5, 1.75, 2.0]),
+        SpeedModel::incremental(1.0, 2.0, 0.1),
+    ];
+    let scenarios = Scenario::grid(&specs, &models, &[1.2, 1.6, 2.5], &[0, 1, 2]);
+    println!(
+        "{} scenarios = {} DAG families × {} models × 3 deadlines × 3 seeds",
+        scenarios.len(),
+        specs.len(),
+        models.len()
+    );
+
+    let opts = BatchOptions {
+        procs: 3,
+        reliability: Some(ReliabilityModel::new(0.01, 3.0, 1.0, 2.0, 1.8)),
+        mc_runs: 2_000,
+        ..BatchOptions::default()
+    };
+    let report = run_batch(&scenarios, &opts);
+    println!(
+        "solved {}/{} in {:.0} ms wall-clock (rayon-parallel)\n",
+        report.solved, report.scenarios, report.wall_ms
+    );
+
+    println!(
+        "{:<24} {:>7} {:>10} {:>10} {:>9} {:>8}",
+        "scenario", "tasks", "energy", "makespan", "success", "ms"
+    );
+    for r in report.results.iter().take(12) {
+        let label = r.scenario.label();
+        match (r.energy, r.makespan) {
+            (Some(e), Some(ms)) => {
+                let success = r
+                    .faults
+                    .as_ref()
+                    .map(|f| format!("{:.3}", f.app_success_rate))
+                    .unwrap_or_else(|| "—".into());
+                println!(
+                    "{label:<24} {:>7} {e:>10.3} {ms:>10.3} {success:>9} {:>8.1}",
+                    r.n_tasks, r.solve_ms
+                );
+            }
+            _ => println!(
+                "{label:<24} {:>7} {:>10}",
+                r.n_tasks,
+                r.error.as_deref().unwrap_or("?")
+            ),
+        }
+    }
+    println!(
+        "… ({} more rows in the JSON report)",
+        report.results.len().saturating_sub(12)
+    );
+    println!(
+        "\ntotal energy across solved scenarios: {:.2}",
+        report.total_energy
+    );
+}

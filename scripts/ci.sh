@@ -19,3 +19,11 @@ echo "==> cargo bench --no-run"
 cargo bench --no-run
 
 echo "tier-1 gate: OK"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "lint gate: OK"

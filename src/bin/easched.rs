@@ -1,6 +1,7 @@
 //! `easched` — command-line driver for the energy-aware scheduling
 //! library: generate a workload, map it, solve BI-CRIT under a chosen
-//! speed model and print the schedule (optionally as JSON).
+//! speed model via the unified `bicrit::solve` dispatcher, and print the
+//! schedule (optionally as JSON).
 //!
 //! ```text
 //! easched --dag chain:12 --model continuous --mult 1.6
@@ -9,12 +10,23 @@
 //! easched --dag gauss:4 --model discrete --modes 1,2 --mult 1.5
 //! ```
 //!
+//! Batch mode evaluates a whole scenario grid in parallel through the
+//! `ea-engine` scenario engine and prints a JSON report:
+//!
+//! ```text
+//! easched --batch --scenarios chain:10,fork:8 --models continuous,vdd \
+//!         --mults 1.2,1.6 --seeds 4 --procs 3
+//! ```
+//!
+//! The deadline is `--mult ×` the fastest possible makespan *under the
+//! chosen model* (its largest mode for vdd/discrete, `--fmax` for
+//! continuous/incremental), so `--mult 1.2` always means 20% real slack.
+//!
 //! Exit code 2 signals an infeasible deadline; 1 a usage error.
 
-use energy_aware_scheduling::core::bicrit::{continuous, discrete, incremental, vdd};
-use energy_aware_scheduling::core::schedule::Schedule;
+use energy_aware_scheduling::core::bicrit::{self, SolveOptions};
+use energy_aware_scheduling::engine::{run_batch, BatchOptions, DagSpec, Scenario};
 use energy_aware_scheduling::prelude::*;
-use energy_aware_scheduling::taskgraph::{generators, Dag};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -29,6 +41,12 @@ struct Args {
     fmin: f64,
     fmax: f64,
     json: bool,
+    batch: bool,
+    scenarios: Vec<String>,
+    models: Vec<String>,
+    mults: Vec<f64>,
+    seeds: u64,
+    mc_runs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +61,12 @@ fn parse_args() -> Result<Args, String> {
         fmin: 1.0,
         fmax: 2.0,
         json: false,
+        batch: false,
+        scenarios: vec!["chain:10".into(), "layered:4x3".into()],
+        models: vec!["continuous".into(), "vdd".into()],
+        mults: vec![1.2, 1.6],
+        seeds: 2,
+        mc_runs: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -51,6 +75,12 @@ fn parse_args() -> Result<Args, String> {
         argv.get(*i)
             .cloned()
             .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+    };
+    let floats = |s: &str, flag: &str| -> Result<Vec<f64>, String> {
+        s.split(',')
+            .map(|x| x.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("{flag}: {e}"))
     };
     while i < argv.len() {
         match argv[i].as_str() {
@@ -62,67 +92,187 @@ fn parse_args() -> Result<Args, String> {
             "--delta" => args.delta = take(&mut i)?.parse().map_err(|e| format!("--delta: {e}"))?,
             "--fmin" => args.fmin = take(&mut i)?.parse().map_err(|e| format!("--fmin: {e}"))?,
             "--fmax" => args.fmax = take(&mut i)?.parse().map_err(|e| format!("--fmax: {e}"))?,
-            "--modes" => {
-                args.modes = take(&mut i)?
-                    .split(',')
-                    .map(|s| s.trim().parse::<f64>())
-                    .collect::<Result<_, _>>()
-                    .map_err(|e| format!("--modes: {e}"))?
-            }
+            "--modes" => args.modes = floats(&take(&mut i)?, "--modes")?,
             "--json" => args.json = true,
+            "--batch" => args.batch = true,
+            "--scenarios" => {
+                args.scenarios = take(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect()
+            }
+            "--models" => {
+                args.models = take(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().to_lowercase())
+                    .collect()
+            }
+            "--mults" => args.mults = floats(&take(&mut i)?, "--mults")?,
+            "--seeds" => args.seeds = take(&mut i)?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--mc-runs" => {
+                args.mc_runs = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--mc-runs: {e}"))?
+            }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
     }
+    validate(&args)?;
     Ok(args)
+}
+
+/// Rejects parameter combinations that would otherwise surface as panics
+/// deep inside the solvers.
+fn validate(args: &Args) -> Result<(), String> {
+    if args.procs < 1 {
+        return Err("--procs must be ≥ 1".into());
+    }
+    let positive = |v: f64, flag: &str| -> Result<(), String> {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("{flag} must be finite and > 0, got {v}"));
+        }
+        Ok(())
+    };
+    positive(args.fmin, "--fmin")?;
+    positive(args.fmax, "--fmax")?;
+    positive(args.delta, "--delta")?;
+    positive(args.mult, "--mult")?;
+    if args.fmin > args.fmax {
+        return Err(format!("--fmin {} exceeds --fmax {}", args.fmin, args.fmax));
+    }
+    if args.modes.is_empty() || args.modes.iter().any(|&m| !(m.is_finite() && m > 0.0)) {
+        return Err("--modes must be a non-empty list of positive finite speeds".into());
+    }
+    for m in &args.mults {
+        positive(*m, "--mults")?;
+    }
+    if args.batch && args.seeds == 0 {
+        return Err("--seeds must be ≥ 1".into());
+    }
+    if args.batch && args.mc_runs > 0 && args.fmin >= args.fmax {
+        return Err("--mc-runs needs a non-degenerate speed range (--fmin < --fmax)".into());
+    }
+    Ok(())
 }
 
 fn usage() {
     eprintln!(
         "usage: easched [--dag chain:N|fork:N|layered:LxW|stencil:RxC|gauss:B] \
          [--model continuous|vdd|discrete|incremental] [--modes f1,f2,..] \
-         [--mult X] [--procs P] [--seed S] [--delta D] [--fmin F] [--fmax F] [--json]"
+         [--mult X] [--procs P] [--seed S] [--delta D] [--fmin F] [--fmax F] [--json]\n\
+       batch: easched --batch [--scenarios spec1,spec2,..] [--models m1,m2,..] \
+         [--mults x1,x2,..] [--seeds N] [--mc-runs R] [--procs P]"
     );
 }
 
-fn build_dag(spec: &str, seed: u64) -> Result<Dag, String> {
-    let (kind, param) = spec.split_once(':').ok_or("dag spec needs kind:param")?;
-    let dag = match kind {
-        "chain" => {
-            let n: usize = param.parse().map_err(|e| format!("chain size: {e}"))?;
-            generators::chain(&generators::random_weights(n, 0.5, 2.5, seed))
-        }
-        "fork" => {
-            let n: usize = param.parse().map_err(|e| format!("fork size: {e}"))?;
-            generators::fork(1.5, &generators::random_weights(n, 0.5, 2.5, seed))
-        }
-        "layered" => {
-            let (l, w) = param.split_once('x').ok_or("layered needs LxW")?;
-            generators::random_layered(
-                l.parse().map_err(|e| format!("layers: {e}"))?,
-                w.parse().map_err(|e| format!("width: {e}"))?,
-                0.35,
-                0.5,
-                2.5,
-                seed,
-            )
-        }
-        "stencil" => {
-            let (r, c) = param.split_once('x').ok_or("stencil needs RxC")?;
-            generators::stencil_wavefront(
-                r.parse().map_err(|e| format!("rows: {e}"))?,
-                c.parse().map_err(|e| format!("cols: {e}"))?,
-                1.0,
-            )
-        }
-        "gauss" => generators::gaussian_elimination(
-            param.parse().map_err(|e| format!("tiles: {e}"))?,
-            1.0,
-        ),
-        other => return Err(format!("unknown dag kind {other}")),
+/// Builds the [`SpeedModel`] a model name denotes — the only place a model
+/// *string* is interpreted; everything downstream dispatches on the
+/// [`SpeedModel`] itself via `bicrit::solve`.
+fn build_model(name: &str, args: &Args) -> Result<SpeedModel, String> {
+    match name {
+        "continuous" => Ok(SpeedModel::continuous(args.fmin, args.fmax)),
+        "vdd" => Ok(SpeedModel::vdd_hopping(args.modes.clone())),
+        "discrete" => Ok(SpeedModel::discrete(args.modes.clone())),
+        "incremental" => Ok(SpeedModel::incremental(args.fmin, args.fmax, args.delta)),
+        other => Err(format!("unknown model {other}")),
+    }
+}
+
+fn run_single(args: &Args) -> Result<ExitCode, String> {
+    let model = build_model(&args.model, args)?;
+    let scenario = Scenario {
+        dag: DagSpec::parse(&args.dag)?,
+        model: model.clone(),
+        deadline_mult: args.mult,
+        seed: args.seed,
     };
-    Ok(dag)
+    let inst = scenario
+        .instantiate(args.procs)
+        .map_err(|e| format!("{e} (empty DAG or bad --mult?)"))?;
+
+    match bicrit::solve(&inst, &model, &SolveOptions::default()) {
+        Ok(sol) => {
+            let sched = sol.to_schedule();
+            if args.json {
+                #[derive(serde::Serialize)]
+                struct Out<'a> {
+                    model: &'a str,
+                    deadline: f64,
+                    energy: f64,
+                    makespan: f64,
+                    schedule: &'a Schedule,
+                }
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&Out {
+                        model: &args.model,
+                        deadline: inst.deadline,
+                        energy: sol.energy,
+                        makespan: sol.makespan,
+                        schedule: &sched,
+                    })
+                    .expect("schedule serialises")
+                );
+            } else {
+                println!(
+                    "dag {} ({} tasks) on {} procs, D = {:.4} (×{})",
+                    args.dag,
+                    inst.n_tasks(),
+                    args.procs,
+                    inst.deadline,
+                    args.mult
+                );
+                println!("model {}: energy = {:.4}", args.model, sol.energy);
+                println!(
+                    "makespan = {:.4} (deadline {:.4})",
+                    sol.makespan, inst.deadline
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("infeasible: {e}");
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+fn run_batch_mode(args: &Args) -> Result<ExitCode, String> {
+    let specs: Vec<DagSpec> = args
+        .scenarios
+        .iter()
+        .map(|s| DagSpec::parse(s))
+        .collect::<Result<_, _>>()?;
+    let models: Vec<SpeedModel> = args
+        .models
+        .iter()
+        .map(|m| build_model(m, args))
+        .collect::<Result<_, _>>()?;
+    let seeds: Vec<u64> = (0..args.seeds).collect();
+    let scenarios = Scenario::grid(&specs, &models, &args.mults, &seeds);
+
+    let opts = BatchOptions {
+        procs: args.procs,
+        reliability: (args.mc_runs > 0).then(|| {
+            let frel = (0.9 * args.fmax).clamp(args.fmin, args.fmax);
+            ReliabilityModel::typical(args.fmin, args.fmax, frel)
+        }),
+        mc_runs: args.mc_runs,
+        ..BatchOptions::default()
+    };
+    let report = run_batch(&scenarios, &opts);
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        eprintln!(
+            "batch: {} scenarios, {} solved, {} infeasible in {:.0} ms",
+            report.scenarios, report.solved, report.infeasible, report.wall_ms
+        );
+        println!("{}", report.to_json());
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
@@ -136,103 +286,17 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let dag = match build_dag(&args.dag, args.seed) {
-        Ok(d) => d,
+    let run = if args.batch {
+        run_batch_mode(&args)
+    } else {
+        run_single(&args)
+    };
+    match run {
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(1);
-        }
-    };
-
-    let inst = match Instance::mapped_by_list_scheduling(
-        dag,
-        Platform::new(args.procs),
-        args.fmax,
-        f64::MAX,
-    ) {
-        Ok(i) => i,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(1);
-        }
-    };
-    let deadline = args.mult * inst.makespan_at_uniform_speed(args.fmax);
-    let inst = match inst.with_deadline(deadline) {
-        Ok(i) => i,
-        Err(e) => {
-            eprintln!("error: {e} (empty DAG or non-positive --mult?)");
-            return ExitCode::from(1);
-        }
-    };
-
-    let result: Result<(Schedule, f64), _> = match args.model.as_str() {
-        "continuous" => continuous::solve(&inst, args.fmin, args.fmax, &Default::default())
-            .map(|s| (Schedule::from_speeds(&s.speeds), s.energy)),
-        "vdd" => vdd::solve(inst.augmented_dag(), deadline, &args.modes)
-            .map(|s| (s.to_schedule(), s.energy)),
-        "discrete" => discrete::solve_bnb(
-            inst.augmented_dag(),
-            deadline,
-            &args.modes,
-            discrete::BnbBound::VddRelaxation,
-        )
-        .map(|s| (Schedule::from_speeds(&s.speeds), s.energy)),
-        "incremental" => incremental::solve(
-            inst.augmented_dag(),
-            deadline,
-            args.fmin,
-            args.fmax,
-            args.delta,
-            50,
-        )
-        .map(|s| (Schedule::from_speeds(&s.speeds), s.energy)),
-        other => {
-            eprintln!("error: unknown model {other}");
             usage();
-            return ExitCode::from(1);
-        }
-    };
-
-    match result {
-        Ok((sched, energy)) => {
-            if args.json {
-                #[derive(serde::Serialize)]
-                struct Out<'a> {
-                    model: &'a str,
-                    deadline: f64,
-                    energy: f64,
-                    schedule: &'a Schedule,
-                }
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&Out {
-                        model: &args.model,
-                        deadline,
-                        energy,
-                        schedule: &sched,
-                    })
-                    .expect("schedule serialises")
-                );
-            } else {
-                println!(
-                    "dag {} ({} tasks) on {} procs, D = {:.4} (×{})",
-                    args.dag,
-                    inst.n_tasks(),
-                    args.procs,
-                    deadline,
-                    args.mult
-                );
-                println!("model {}: energy = {:.4}", args.model, energy);
-                let ms = sched
-                    .makespan(&inst.dag, &inst.mapping)
-                    .expect("valid schedule");
-                println!("makespan = {ms:.4} (deadline {deadline:.4})");
-            }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("infeasible: {e}");
-            ExitCode::from(2)
+            ExitCode::from(1)
         }
     }
 }

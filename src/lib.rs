@@ -11,12 +11,15 @@
 //! * [`convex`] — the log-barrier convex solver ([`ea_convex`]).
 //! * [`core`] — speed models, BI-CRIT and TRI-CRIT solvers ([`ea_core`]).
 //! * [`sim`] — the fault-injection discrete-event simulator ([`ea_sim`]).
+//! * [`engine`] — the parallel scenario engine: grids of (DAG × model ×
+//!   deadline × seed) solved through `bicrit::solve` ([`ea_engine`]).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory; run `cargo run --example quickstart` for a first tour.
 
 pub use ea_convex as convex;
 pub use ea_core as core;
+pub use ea_engine as engine;
 pub use ea_linalg as linalg;
 pub use ea_lp as lp;
 pub use ea_sim as sim;
@@ -24,10 +27,12 @@ pub use ea_taskgraph as taskgraph;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
+    pub use ea_core::bicrit::{Solution, SolveOptions, SpeedProfile};
     pub use ea_core::platform::{Mapping, Platform};
     pub use ea_core::reliability::ReliabilityModel;
     pub use ea_core::schedule::Schedule;
     pub use ea_core::speed::SpeedModel;
     pub use ea_core::Instance;
+    pub use ea_engine::{DagSpec, Scenario};
     pub use ea_taskgraph::{Dag, SpTree};
 }

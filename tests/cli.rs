@@ -1,0 +1,119 @@
+//! CLI contract tests for `easched`: argument validation exits with a
+//! usage error (code 1) instead of panicking deep in a solver, feasible
+//! runs exit 0, infeasible deadlines exit 2, and batch mode emits a JSON
+//! report.
+
+use std::process::{Command, Output};
+
+fn easched(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_easched"))
+        .args(args)
+        .output()
+        .expect("easched spawns")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn rejects_zero_procs_with_usage_error() {
+    let out = easched(&["--dag", "chain:4", "--procs", "0"]);
+    assert_eq!(code(&out), 1, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--procs"), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("usage:"), "usage must be printed");
+}
+
+#[test]
+fn rejects_non_finite_and_non_positive_speed_knobs() {
+    for args in [
+        ["--fmin", "nan"],
+        ["--fmin", "-1"],
+        ["--fmax", "inf"],
+        ["--fmax", "0"],
+        ["--delta", "0"],
+        ["--delta", "nan"],
+        ["--mult", "-2"],
+    ] {
+        let out = easched(&["--dag", "chain:4", args[0], args[1]]);
+        assert_eq!(
+            code(&out),
+            1,
+            "{args:?} must be a usage error: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains(args[0]),
+            "{args:?}: stderr should name the flag: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn rejects_inverted_speed_range_and_bad_modes() {
+    let out = easched(&["--fmin", "3", "--fmax", "2"]);
+    assert_eq!(code(&out), 1);
+    let out = easched(&["--model", "vdd", "--modes", "1,-2"]);
+    assert_eq!(
+        code(&out),
+        1,
+        "negative mode must be rejected: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn solves_every_model_through_the_dispatcher() {
+    for model in ["continuous", "vdd", "discrete", "incremental"] {
+        let out = easched(&["--dag", "chain:5", "--model", model, "--mult", "1.6"]);
+        assert_eq!(code(&out), 0, "{model}: {}", stderr(&out));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(stdout.contains("energy"), "{model}: {stdout}");
+    }
+}
+
+#[test]
+fn infeasible_deadline_exits_2() {
+    let out = easched(&["--dag", "chain:5", "--model", "continuous", "--mult", "0.3"]);
+    assert_eq!(code(&out), 2, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("infeasible"));
+}
+
+#[test]
+fn batch_mode_emits_a_json_report() {
+    let out = easched(&[
+        "--batch",
+        "--scenarios",
+        "chain:6,fork:4",
+        "--models",
+        "continuous,vdd",
+        "--mults",
+        "1.3,1.7",
+        "--seeds",
+        "2",
+        "--json",
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("\"results\""), "{stdout}");
+    assert!(
+        stdout.contains("\"scenarios\": 16"),
+        "2×2×2×2 grid: {stdout}"
+    );
+}
+
+#[test]
+fn batch_mode_rejects_bad_scenario_specs() {
+    let out = easched(&["--batch", "--scenarios", "ring:5"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("unknown dag kind"),
+        "{}",
+        stderr(&out)
+    );
+}

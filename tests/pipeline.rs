@@ -1,11 +1,10 @@
 //! End-to-end integration: workload generation → list-scheduling mapping →
-//! BI-CRIT solvers under every speed model → schedule validation →
-//! fault-injection simulation. Spans every crate in the workspace.
+//! BI-CRIT solvers under every speed model (through the unified
+//! `bicrit::solve` dispatcher) → schedule validation → fault-injection
+//! simulation. Spans every crate in the workspace.
 
-use energy_aware_scheduling::core::bicrit::{continuous, discrete, incremental, vdd};
+use energy_aware_scheduling::core::bicrit::{self, SolveOptions};
 use energy_aware_scheduling::core::reliability::ReliabilityModel;
-use energy_aware_scheduling::core::schedule::Schedule;
-use energy_aware_scheduling::core::speed::SpeedModel;
 use energy_aware_scheduling::prelude::*;
 use energy_aware_scheduling::sim::run_monte_carlo;
 use energy_aware_scheduling::taskgraph::generators;
@@ -23,61 +22,62 @@ fn mapped_instance(seed: u64, mult: f64) -> Instance {
 
 #[test]
 fn continuous_pipeline_validates_and_saves_energy() {
+    let model = SpeedModel::continuous(FMIN, FMAX);
     for seed in 0..5 {
         let inst = mapped_instance(seed, 1.6);
-        let sol = continuous::solve(&inst, FMIN, FMAX, &Default::default()).expect("feasible");
-        let sched = Schedule::from_speeds(&sol.speeds);
-        sched
-            .validate(
-                &inst.dag,
-                &SpeedModel::continuous(FMIN, FMAX),
-                &inst.mapping,
-                Some(inst.deadline),
-            )
+        let sol = bicrit::solve(&inst, &model, &SolveOptions::default()).expect("feasible");
+        sol.to_schedule()
+            .validate(&inst.dag, &model, &inst.mapping, Some(inst.deadline))
             .expect("valid schedule");
         let all_fmax: f64 = inst.dag.weights().iter().map(|w| w * FMAX * FMAX).sum();
         assert!(sol.energy < all_fmax, "DVFS must save energy given slack");
-        assert!(sol.energy >= sol.lower_bound - 1e-9);
+        assert!(sol.energy >= sol.lower_bound.expect("continuous certifies") - 1e-9);
     }
 }
 
 #[test]
 fn vdd_pipeline_validates() {
     let modes = vec![1.0, 1.25, 1.5, 1.75, 2.0];
+    let model = SpeedModel::vdd_hopping(modes.clone());
     for seed in 0..5 {
         let inst = mapped_instance(seed, 1.6);
-        let sol = vdd::solve(inst.augmented_dag(), inst.deadline, &modes).expect("feasible");
-        let sched = sol.to_schedule();
-        sched
-            .validate(
-                &inst.dag,
-                &SpeedModel::vdd_hopping(modes.clone()),
-                &inst.mapping,
-                Some(inst.deadline),
-            )
+        let sol = bicrit::solve(&inst, &model, &SolveOptions::default()).expect("feasible");
+        sol.to_schedule()
+            .validate(&inst.dag, &model, &inst.mapping, Some(inst.deadline))
             .expect("valid VDD schedule");
-        assert!(sol.max_modes_per_task() <= 2, "optimal basic solutions use ≤ 2 speeds");
-        assert!(sol.speeds_adjacent(&modes), "and the two speeds are adjacent");
+        let max_modes = sol
+            .profiles
+            .iter()
+            .map(|p| match p {
+                SpeedProfile::Constant(_) => 1,
+                SpeedProfile::Segments(segs) => segs.len(),
+            })
+            .max()
+            .expect("non-empty");
+        assert!(max_modes <= 2, "optimal basic solutions use ≤ 2 speeds");
+        assert!(sol.stats.lp_pivots.expect("pivot count") > 0);
     }
 }
 
 #[test]
 fn model_refinement_ordering_holds() {
     // CONTINUOUS relaxes VDD-HOPPING relaxes DISCRETE: energies must be
-    // ordered accordingly on the same instance.
+    // ordered accordingly on the same instance, via the dispatcher alone.
     let modes = vec![1.0, 1.5, 2.0];
+    let opts = SolveOptions::default();
     for seed in 0..4 {
         let inst = mapped_instance(seed, 1.5);
-        let aug = inst.augmented_dag();
-        let cont = continuous::solve_general(aug, inst.deadline, FMIN, FMAX, &Default::default())
-            .expect("feasible");
-        let hop = vdd::solve(aug, inst.deadline, &modes).expect("feasible");
-        let disc = discrete::solve_bnb(aug, inst.deadline, &modes, discrete::BnbBound::Simple)
-            .expect("feasible");
+        let cont =
+            bicrit::solve(&inst, &SpeedModel::continuous(FMIN, FMAX), &opts).expect("feasible");
+        let hop =
+            bicrit::solve(&inst, &SpeedModel::vdd_hopping(modes.clone()), &opts).expect("feasible");
+        let disc =
+            bicrit::solve(&inst, &SpeedModel::discrete(modes.clone()), &opts).expect("feasible");
+        let cont_lb = cont.lower_bound.expect("continuous certifies");
         assert!(
-            cont.lower_bound <= hop.energy * (1.0 + 1e-6),
+            cont_lb <= hop.energy * (1.0 + 1e-6),
             "seed {seed}: continuous LB {} vs VDD {}",
-            cont.lower_bound,
+            cont_lb,
             hop.energy
         );
         assert!(
@@ -91,19 +91,16 @@ fn model_refinement_ordering_holds() {
 
 #[test]
 fn incremental_pipeline_respects_bound_and_validates() {
+    let model = SpeedModel::incremental(FMIN, FMAX, 0.2);
+    let opts = SolveOptions::default().with_accuracy_k(20);
     for seed in 0..3 {
         let inst = mapped_instance(seed, 1.7);
-        let sol = incremental::solve(inst.augmented_dag(), inst.deadline, FMIN, FMAX, 0.2, 20)
-            .expect("feasible");
-        assert!(sol.ratio <= sol.proven_factor + 1e-9, "seed {seed}");
-        let sched = Schedule::from_speeds(&sol.speeds);
-        sched
-            .validate(
-                &inst.dag,
-                &SpeedModel::incremental(FMIN, FMAX, 0.2),
-                &inst.mapping,
-                Some(inst.deadline),
-            )
+        let sol = bicrit::solve(&inst, &model, &opts).expect("feasible");
+        let ratio = sol.stats.approx_ratio.expect("measured ratio");
+        let bound = sol.stats.proven_factor.expect("proven factor");
+        assert!(ratio <= bound + 1e-9, "seed {seed}");
+        sol.to_schedule()
+            .validate(&inst.dag, &model, &inst.mapping, Some(inst.deadline))
             .expect("valid incremental schedule");
     }
 }
@@ -114,22 +111,40 @@ fn simulation_agrees_with_schedule_accounting() {
     // schedule's energy and makespan exactly.
     let rel = ReliabilityModel::new(1e-300, 3.0, FMIN, FMAX, 1.8);
     let inst = mapped_instance(1, 1.6);
-    let sol = continuous::solve(&inst, FMIN, FMAX, &Default::default()).expect("feasible");
-    let sched = Schedule::from_speeds(&sol.speeds);
+    let sol = bicrit::solve(
+        &inst,
+        &SpeedModel::continuous(FMIN, FMAX),
+        &SolveOptions::default(),
+    )
+    .expect("feasible");
+    let sched = sol.to_schedule();
     let stats = run_monte_carlo(&inst.dag, &inst.mapping, &sched, &rel, 50, 3);
     assert!((stats.app_success_rate - 1.0).abs() < 1e-12);
     let e = sched.energy(&inst.dag);
     assert!((stats.mean_energy - e).abs() < 1e-9 * e);
+    assert!(
+        (sol.energy - e).abs() < 1e-9 * e,
+        "Solution energy = schedule energy"
+    );
     let ms = sched.makespan(&inst.dag, &inst.mapping).expect("valid");
     assert!(stats.max_makespan <= ms * (1.0 + 1e-9));
+    assert!(
+        (sol.makespan - ms).abs() < 1e-9 * ms,
+        "Solution makespan = schedule makespan"
+    );
 }
 
 #[test]
 fn infeasible_deadlines_rejected_by_every_solver() {
     let inst = Instance::single_chain(&[10.0, 10.0], 1.0).expect("instance builds");
-    let aug = inst.augmented_dag();
-    assert!(continuous::solve_general(aug, 1.0, FMIN, FMAX, &Default::default()).is_err());
-    assert!(vdd::solve(aug, 1.0, &[1.0, 2.0]).is_err());
-    assert!(discrete::solve_bnb(aug, 1.0, &[1.0, 2.0], discrete::BnbBound::Simple).is_err());
-    assert!(incremental::solve(aug, 1.0, FMIN, FMAX, 0.25, 5).is_err());
+    let opts = SolveOptions::default();
+    let models = [
+        SpeedModel::continuous(FMIN, FMAX),
+        SpeedModel::vdd_hopping(vec![1.0, 2.0]),
+        SpeedModel::discrete(vec![1.0, 2.0]),
+        SpeedModel::incremental(FMIN, FMAX, 0.25),
+    ];
+    for model in &models {
+        assert!(bicrit::solve(&inst, model, &opts).is_err(), "{model:?}");
+    }
 }

@@ -102,7 +102,10 @@ fn heuristics_complementarity_shape() {
     let base = 1.0 / rel.fmax + ws.iter().fold(0.0f64, |m, &w| m.max(w / rel.fmax));
     let fork_inst = Instance::fork(1.0, &ws, 2.2 * base).expect("valid");
     let (best, _) = heuristics::best_of(&fork_inst, &rel).expect("feasible");
-    let ms = best.schedule.makespan(&fork_inst.dag, &fork_inst.mapping).expect("valid");
+    let ms = best
+        .schedule
+        .makespan(&fork_inst.dag, &fork_inst.mapping)
+        .expect("valid");
     assert!(ms <= fork_inst.deadline * (1.0 + 1e-6));
     assert!(best.schedule.reliability_ok(&fork_inst.dag, &rel));
 }
@@ -120,7 +123,10 @@ fn heuristics_on_application_dags() {
         let d = 2.0 * inst.makespan_at_uniform_speed(rel.fmax);
         let inst = inst.with_deadline(d).expect("positive deadline");
         let (best, _) = heuristics::best_of(&inst, &rel).expect("feasible");
-        let ms = best.schedule.makespan(&inst.dag, &inst.mapping).expect("valid");
+        let ms = best
+            .schedule
+            .makespan(&inst.dag, &inst.mapping)
+            .expect("valid");
         assert!(ms <= d * (1.0 + 1e-6), "{label}: makespan {ms} > {d}");
         assert!(best.schedule.reliability_ok(&inst.dag, &rel), "{label}");
         // Re-execution must actually be exploited somewhere given 2× slack.
@@ -152,6 +158,9 @@ fn exhaustive_confirms_greedy_on_tiny_instances() {
             greedy.energy,
             exact.energy
         );
-        assert!(exact.energy <= greedy.energy * (1.0 + 1e-9), "exact is a lower bound");
+        assert!(
+            exact.energy <= greedy.energy * (1.0 + 1e-9),
+            "exact is a lower bound"
+        );
     }
 }
