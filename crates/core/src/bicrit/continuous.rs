@@ -30,6 +30,18 @@ pub struct ContinuousSolution {
     /// Certified lower bound on the optimal energy (equals `energy` for
     /// the exact closed forms; `energy − gap` for the convex solver).
     pub lower_bound: f64,
+    /// Newton iterations spent by the barrier solver (0 on the exact
+    /// closed-form paths) — the work unit the Pareto warm-start saves.
+    pub newton_steps: usize,
+    /// The barrier's final strictly feasible iterate `[d | b]` (duration
+    /// and start-time variables), when the convex solver ran. Passing it
+    /// back as the `warm` argument of [`solve_general_warm`] at a larger
+    /// deadline restarts the barrier from a well-centred point. `None` on
+    /// the closed-form paths.
+    pub interior: Option<Vec<f64>>,
+    /// True if a supplied warm seed was actually consumed (not rejected
+    /// as malformed or infeasible, and not bypassed by a closed form).
+    pub warm_used: bool,
 }
 
 /// Optimal speeds for a single-processor linear chain: one common speed
@@ -55,6 +67,9 @@ pub fn chain_optimal(
         speeds: vec![f; weights.len()],
         energy,
         lower_bound: energy,
+        newton_steps: 0,
+        interior: None,
+        warm_used: false,
     })
 }
 
@@ -131,6 +146,9 @@ pub fn fork_theorem(
         speeds,
         energy,
         lower_bound,
+        newton_steps: 0,
+        interior: None,
+        warm_used: false,
     })
 }
 
@@ -186,8 +204,6 @@ fn assign(tree: &SpTree, window: f64, out: &mut Vec<(usize, f64)>, dfs_idx: &mut
 /// General DAGs: the convex program in duration space,
 /// `min Σ w_i³/d_i²` s.t. `b_i + d_i ≤ b_j` on augmented edges,
 /// `b_i + d_i ≤ D`, `b ≥ 0`, `w_i/f_max ≤ d_i ≤ w_i/f_min`.
-// Explicit index loops keep the variable layout [d | b] readable.
-#[allow(clippy::needless_range_loop)]
 pub fn solve_general(
     aug: &Dag,
     deadline: f64,
@@ -195,12 +211,44 @@ pub fn solve_general(
     fmax: f64,
     opts: &BarrierOptions,
 ) -> Result<ContinuousSolution, CoreError> {
+    solve_general_warm(aug, deadline, fmin, fmax, opts, None)
+}
+
+/// [`solve_general`] with an optional warm start from a solve of the
+/// *same* DAG at a deadline `≤ deadline` (deadline sweeps of
+/// [`crate::bicrit::pareto`] hand each point the previous one). `warm`
+/// is either
+///
+/// * the previous [`ContinuousSolution::interior`] (length `2n`) — used
+///   verbatim: the barrier's final iterate is strictly feasible for any
+///   larger deadline and already well-centred, or
+/// * a per-task speed vector (length `n`) — durations and earliest
+///   starts are reconstructed and blended a hair toward the cold
+///   interior point to restore strict feasibility.
+///
+/// Either way the barrier weight starts high enough to skip the early
+/// centring stages the near-optimal start makes redundant. A warm point
+/// that is not strictly feasible under the new constraints (shrinking
+/// sweeps, foreign DAG) is ignored.
+// Explicit index loops keep the variable layout [d | b] readable.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_general_warm(
+    aug: &Dag,
+    deadline: f64,
+    fmin: f64,
+    fmax: f64,
+    opts: &BarrierOptions,
+    warm: Option<&[f64]>,
+) -> Result<ContinuousSolution, CoreError> {
     let n = aug.len();
     if n == 0 {
         return Ok(ContinuousSolution {
             speeds: vec![],
             energy: 0.0,
             lower_bound: 0.0,
+            newton_steps: 0,
+            interior: None,
+            warm_used: false,
         });
     }
     let w = aug.weights();
@@ -220,6 +268,9 @@ pub fn solve_general(
             speeds: vec![fmax; n],
             energy,
             lower_bound: 0.0,
+            newton_steps: 0,
+            interior: None,
+            warm_used: false,
         });
     }
 
@@ -241,7 +292,7 @@ pub fn solve_general(
     let cons = LinearConstraints::from_rows(dim, &rows);
     let obj = SeparablePower::new(dim, (0..n).map(|i| (dvar(i), w[i].powi(3))).collect(), 2.0);
 
-    // Strictly feasible start: scale the all-fmax durations by
+    // Strictly feasible cold start: scale the all-fmax durations by
     // σ ∈ (1, min(D/M, fmax/fmin)) and pad start times.
     let sigma = (deadline / m_fmax).sqrt().min((fmax / fmin).sqrt());
     let d0: Vec<f64> = dur_fmax.iter().map(|d| d * sigma).collect();
@@ -255,7 +306,55 @@ pub fn solve_general(
         x0[bvar(i)] = est[i] + delta;
     }
 
-    let sol = ea_convex::solve(&obj, &cons, &x0, opts)
+    // Warm-start recentring weight: the warm point is blended γ toward
+    // the cold interior point (for linear constraints, slack(blend) ≥
+    // γ·slack(cold) > 0, and the near-boundary slacks of a previous
+    // optimum are lifted to a scale the first centring can handle), and
+    // the barrier weight starts where its certified gap m/t matches an
+    // η-fraction suboptimality of the warm point — skipping the early
+    // centring stages is the whole warm-start payoff. (Correctness is
+    // unaffected: the barrier loop still runs until m/t ≤ tol.)
+    const GAMMA_COLD: f64 = 0.001;
+    const ETA_GAP: f64 = 1e-5;
+    let mut opts_eff = opts.clone();
+    let mut warm_candidate: Option<Vec<f64>> = None;
+    match warm {
+        // The previous barrier iterate: strictly feasible here whenever
+        // the deadline only grew (checked, in case it shrank).
+        Some(prev) if prev.len() == dim && cons.slacks(prev).iter().all(|&s| s > 0.0) => {
+            warm_candidate = Some(prev.to_vec());
+        }
+        // Previous-optimum speeds: reconstruct durations (clamped into
+        // the speed box) and earliest starts — feasible for the larger
+        // deadline, boundary slacks restored by the blend below.
+        Some(prev) if prev.len() == n => {
+            let dw: Vec<f64> = (0..n).map(|i| w[i] / prev[i].clamp(fmin, fmax)).collect();
+            if analysis::critical_path_length(aug, &dw) <= deadline * (1.0 - 1e-9) {
+                let ew = analysis::earliest_start(aug, &dw);
+                let mut xw = vec![0.0; dim];
+                for i in 0..n {
+                    xw[dvar(i)] = dw[i];
+                    xw[bvar(i)] = ew[i];
+                }
+                warm_candidate = Some(xw);
+            }
+        }
+        _ => {}
+    }
+    let warm_used = warm_candidate.is_some();
+    if let Some(xw) = warm_candidate {
+        let mut e_warm = 0.0;
+        for i in 0..dim {
+            x0[i] = (1.0 - GAMMA_COLD) * xw[i] + GAMMA_COLD * x0[i];
+            if i < n {
+                e_warm += w[i].powi(3) / (x0[i] * x0[i]);
+            }
+        }
+        let t_warm = rows.len() as f64 / (ETA_GAP * e_warm + opts.tol);
+        opts_eff.t0 = opts.t0.max(t_warm.min(1e12));
+    }
+
+    let sol = ea_convex::solve(&obj, &cons, &x0, &opts_eff)
         .map_err(|e| CoreError::Numerical(format!("barrier solver: {e}")))?;
 
     let mut speeds = Vec::with_capacity(n);
@@ -270,6 +369,9 @@ pub fn solve_general(
         speeds,
         energy,
         lower_bound,
+        newton_steps: sol.newton_steps,
+        interior: Some(sol.x),
+        warm_used,
     })
 }
 
@@ -301,6 +403,19 @@ pub fn solve_in_box(
     fmax: f64,
     opts: &BarrierOptions,
 ) -> Result<ContinuousSolution, CoreError> {
+    solve_in_box_warm(inst, fmin, fmax, opts, None)
+}
+
+/// [`solve_in_box`] with an optional warm start (see
+/// [`solve_general_warm`]). The exact series-parallel fast path ignores
+/// the warm point — it is already a closed form.
+pub fn solve_in_box_warm(
+    inst: &Instance,
+    fmin: f64,
+    fmax: f64,
+    opts: &BarrierOptions,
+    warm: Option<&[f64]>,
+) -> Result<ContinuousSolution, CoreError> {
     let aug = inst.augmented_dag();
     if let Ok(tree) = SpTree::from_dag(aug) {
         let (pairs, energy) = sp_optimal(&tree, inst.deadline);
@@ -316,10 +431,13 @@ pub fn solve_in_box(
                 speeds,
                 energy,
                 lower_bound: energy,
+                newton_steps: 0,
+                interior: None,
+                warm_used: false,
             });
         }
     }
-    solve_general(aug, inst.deadline, fmin, fmax, opts)
+    solve_general_warm(aug, inst.deadline, fmin, fmax, opts, warm)
 }
 
 #[cfg(test)]

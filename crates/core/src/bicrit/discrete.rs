@@ -33,6 +33,10 @@ pub struct DiscreteSolution {
     pub energy: f64,
     /// Search-tree nodes explored (the NP-hardness witness of E4).
     pub nodes: usize,
+    /// True if a supplied incumbent seed was adopted as the initial
+    /// upper bound (valid, feasible, and cheaper than the uniform
+    /// incumbent); false for cold, rejected, or outperformed seeds.
+    pub seed_used: bool,
 }
 
 /// Bound strategy for the branch-and-bound.
@@ -71,6 +75,24 @@ pub fn solve_bnb(
     modes: &[f64],
     bound: BnbBound,
 ) -> Result<DiscreteSolution, CoreError> {
+    solve_bnb_seeded(aug, deadline, modes, bound, None)
+}
+
+/// [`solve_bnb`] seeded with a known-feasible incumbent: `seed` is a mode
+/// assignment (index per task) whose energy becomes the initial upper
+/// bound when it meets `deadline`. Deadline sweeps
+/// ([`crate::bicrit::pareto`]) pass the optimum of the previous, tighter
+/// deadline — still feasible once the deadline grows, and usually so
+/// close to the new optimum that most of the search tree prunes at the
+/// root. An infeasible or malformed seed is ignored; the result is the
+/// exact optimum either way.
+pub fn solve_bnb_seeded(
+    aug: &Dag,
+    deadline: f64,
+    modes: &[f64],
+    bound: BnbBound,
+    seed: Option<&[usize]>,
+) -> Result<DiscreteSolution, CoreError> {
     assert!(!modes.is_empty());
     let n = aug.len();
     let fmax = *modes.last().expect("non-empty");
@@ -107,6 +129,26 @@ pub fn solve_bnb(
         best_energy = w.iter().map(|wi| wi * fmax * fmax).sum();
     }
 
+    // Warm incumbent: adopt the seed when it is valid, feasible, and
+    // cheaper than the uniform incumbent.
+    let mut seed_used = false;
+    if let Some(sd) = seed.filter(|s| s.len() == n && s.iter().all(|&k| k < modes.len())) {
+        let durs: Vec<f64> = (0..n).map(|i| w[i] / modes[sd[i]]).collect();
+        if analysis::critical_path_length(aug, &durs) <= deadline * (1.0 + 1e-9) {
+            let e: f64 = (0..n)
+                .map(|i| {
+                    let f = modes[sd[i]];
+                    w[i] * f * f
+                })
+                .sum();
+            if e < best_energy {
+                best_energy = e;
+                best_modes = sd.to_vec();
+                seed_used = true;
+            }
+        }
+    }
+
     let mut state = Bnb {
         aug,
         deadline,
@@ -130,6 +172,7 @@ pub fn solve_bnb(
         speeds,
         energy,
         nodes: state.nodes,
+        seed_used,
     })
 }
 
@@ -300,6 +343,7 @@ pub fn solve_exhaustive(
                     speeds,
                     energy,
                     nodes,
+                    seed_used: false,
                 });
             }
             assignment[pos] += 1;

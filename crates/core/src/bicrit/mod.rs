@@ -19,7 +19,7 @@
 //! INCREMENTAL accuracy `K`) live in [`SolveOptions`], whose defaults are
 //! paper-faithful.
 //!
-//! ```no_run
+//! ```
 //! use ea_core::bicrit::{self, SolveOptions};
 //! use ea_core::speed::SpeedModel;
 //! use ea_core::Instance;
@@ -27,16 +27,26 @@
 //! let inst = Instance::single_chain(&[1.0, 2.0, 3.0], 5.0).unwrap();
 //! let model = SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]);
 //! let sol = bicrit::solve(&inst, &model, &SolveOptions::default()).unwrap();
-//! println!("E = {}, makespan = {}", sol.energy, sol.makespan);
+//! assert!(sol.makespan <= inst.deadline * (1.0 + 1e-9));
 //! let schedule = sol.to_schedule();
 //! ```
+//!
+//! # Whole trade-off curves
+//!
+//! [`pareto::trace_front`] sweeps the deadline axis and returns the full
+//! energy/deadline Pareto front for any model, warm-starting each solve
+//! from the previous point (barrier restarts, seeded branch-and-bound
+//! incumbents, reused accuracy bracketing) — an order of magnitude
+//! cheaper than cold per-point `solve` calls.
 
 pub mod continuous;
 pub mod discrete;
 pub mod incremental;
+pub mod pareto;
 pub mod vdd;
 
 pub use discrete::BnbBound;
+pub use pareto::{trace_front, FrontOptions, FrontPoint, ParetoFront};
 
 use crate::error::CoreError;
 use crate::instance::Instance;
@@ -49,6 +59,15 @@ use serde::{Deserialize, Serialize};
 /// Solver knobs shared by every BI-CRIT model, with paper-faithful
 /// defaults. Construct with `SolveOptions::default()` and override the
 /// fields you care about (or use the `with_*` helpers).
+///
+/// ```
+/// use ea_core::bicrit::{BnbBound, SolveOptions};
+///
+/// let opts = SolveOptions::default()
+///     .with_bnb_bound(BnbBound::Simple)
+///     .with_accuracy_k(100);
+/// assert_eq!(opts.accuracy_k, 100);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Log-barrier tolerances for the CONTINUOUS convex program (also the
@@ -131,11 +150,26 @@ pub struct SolveStats {
     pub lp_pivots: Option<usize>,
     /// Measured approximation ratio `energy / lower_bound` (INCREMENTAL).
     pub approx_ratio: Option<f64>,
-    /// The proven factor `(1+δ/f_min)²·(1+1/K)²` (INCREMENTAL).
+    /// The certified factor `(1+δ/f_min)²·(1+α)²` with `α ≈ 1/K` the
+    /// continuous stage's achieved accuracy (INCREMENTAL).
     pub proven_factor: Option<f64>,
 }
 
 /// A model-agnostic BI-CRIT solution, as returned by [`solve`].
+///
+/// ```
+/// use ea_core::bicrit::{self, SolveOptions};
+/// use ea_core::speed::SpeedModel;
+/// use ea_core::Instance;
+///
+/// let inst = Instance::single_chain(&[2.0, 2.0], 2.0).unwrap();
+/// let sol = bicrit::solve(&inst, &SpeedModel::continuous(0.5, 2.0),
+///                         &SolveOptions::default()).unwrap();
+/// // A chain runs at one constant speed (Σw/D = 2): E = Σw · f² = 16.
+/// let speeds = sol.constant_speeds().expect("single-speed profiles");
+/// assert!(speeds.iter().all(|f| (f - 2.0).abs() < 1e-9));
+/// assert!((sol.energy - 16.0).abs() < 1e-9);
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Solution {
     /// The speed model the solution is admissible under.
@@ -258,6 +292,25 @@ impl Solution {
 ///
 /// Returns [`CoreError::InfeasibleDeadline`] when even `f_max` cannot meet
 /// the deadline.
+///
+/// ```
+/// use ea_core::bicrit::{self, SolveOptions};
+/// use ea_core::speed::SpeedModel;
+/// use ea_core::{CoreError, Instance};
+///
+/// let inst = Instance::single_chain(&[1.0, 1.0], 4.0)?;
+/// let opts = SolveOptions::default();
+/// // The same instance under two models: DISCRETE can never beat the
+/// // mode-mixing VDD-HOPPING relaxation on the same mode set.
+/// let vdd = bicrit::solve(&inst, &SpeedModel::vdd_hopping(vec![0.5, 1.0]), &opts)?;
+/// let disc = bicrit::solve(&inst, &SpeedModel::discrete(vec![0.5, 1.0]), &opts)?;
+/// assert!(vdd.energy <= disc.energy * (1.0 + 1e-9));
+/// // An unmeetable deadline is a typed error, not a panic.
+/// let tight = inst.with_deadline(0.1)?;
+/// let err = bicrit::solve(&tight, &SpeedModel::discrete(vec![0.5, 1.0]), &opts);
+/// assert!(matches!(err, Err(CoreError::InfeasibleDeadline { .. })));
+/// # Ok::<(), CoreError>(())
+/// ```
 pub fn solve(
     inst: &Instance,
     model: &SpeedModel,

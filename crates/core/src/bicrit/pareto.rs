@@ -1,0 +1,716 @@
+//! Pareto-frontier tracing: the energy/deadline trade-off curve of
+//! BI-CRIT, for any speed model, with **warm-started** solves.
+//!
+//! The paper studies one deadline at a time; its central *object*,
+//! though, is the whole trade-off curve between energy and makespan.
+//! [`trace_front`] sweeps the deadline axis from the feasibility edge
+//! (the all-`f_max` makespan) to the saturation point (the all-`f_min`
+//! makespan, beyond which the energy floor `Σ w·f_min²` is reached) and
+//! solves each point through the per-model solvers — but instead of
+//! paying the full solve cost per point, each solve is *warm-started*
+//! from the previous one:
+//!
+//! * **CONTINUOUS** — the previous optimum is a feasible point of the
+//!   next convex program (the deadline only grew); the barrier solver
+//!   restarts from it with a boosted initial barrier weight
+//!   ([`continuous::solve_general_warm`]).
+//! * **VDD-HOPPING** — the LP restarts cold (the simplex has no basis
+//!   reuse), but the saturation cut below still clips the sweep.
+//! * **DISCRETE** — the previous optimal mode assignment seeds the
+//!   branch-and-bound incumbent ([`discrete::solve_bnb_seeded`]), so
+//!   most of the tree prunes at the root.
+//! * **INCREMENTAL** — the previous continuous-stage energy replaces the
+//!   rough stage-1a solve as the accuracy bracketing, and the previous
+//!   continuous speeds warm the barrier
+//!   ([`incremental::solve_on_dag_warm`]).
+//!
+//! Two further cuts apply to every model: once a point reaches the
+//! energy floor, all later points are copied without solving
+//! ([`PointSource::Saturated`]), and after the initial grid the front is
+//! **adaptively refined** — the adjacent pair with the largest energy
+//! drop is bisected until every drop is below
+//! [`FrontOptions::energy_tol`] of the front's total span (or
+//! [`FrontOptions::max_points`] is reached).
+//!
+//! The reported front is monotone non-increasing by construction: a
+//! schedule feasible at deadline `D` stays feasible at any `D' ≥ D`, so
+//! the tracer carries the best earlier energy forward over any
+//! approximation wiggle (this only ever affects the approximate
+//! INCREMENTAL model).
+//!
+//! ```
+//! use ea_core::bicrit::pareto::{trace_front, FrontOptions};
+//! use ea_core::speed::SpeedModel;
+//! use ea_core::Instance;
+//!
+//! let inst = Instance::single_chain(&[1.0, 2.0, 3.0], 6.0).unwrap();
+//! let model = SpeedModel::discrete(vec![1.0, 1.5, 2.0]);
+//! let front = trace_front(&inst, &model, &FrontOptions::default()).unwrap();
+//! assert!(front.points.len() >= 2);
+//! assert!(front.is_monotone());
+//! ```
+
+use super::{continuous, discrete, incremental, vdd, SolveOptions};
+use crate::error::CoreError;
+use crate::instance::Instance;
+use crate::speed::SpeedModel;
+use ea_taskgraph::analysis;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of a front trace. Construct with `FrontOptions::default()` and
+/// override via the `with_*` builders.
+#[derive(Debug, Clone)]
+pub struct FrontOptions {
+    /// Smallest deadline to trace; defaults to (just above) the
+    /// feasibility edge, the all-`f_max` makespan. Values below the edge
+    /// are clamped up to it.
+    pub d_min: Option<f64>,
+    /// Largest deadline to trace; defaults to the saturation deadline,
+    /// the all-`f_min` makespan (beyond it the front is flat).
+    pub d_max: Option<f64>,
+    /// Number of evenly spaced initial grid points (≥ 2).
+    pub initial_points: usize,
+    /// Refinement target: bisect adjacent deadline gaps until every
+    /// energy drop is at most this fraction of the front's total span.
+    pub energy_tol: f64,
+    /// Hard cap on traced points (initial grid + refinements); raised to
+    /// `initial_points` when smaller, so an explicitly requested grid is
+    /// never truncated.
+    pub max_points: usize,
+    /// Warm-start each solve from the previous point (`false` re-solves
+    /// every point cold — the baseline the `e12_pareto_front` bench
+    /// compares against).
+    pub warm_start: bool,
+    /// Per-point solver options, handed to the per-model solvers.
+    pub solve: SolveOptions,
+}
+
+impl Default for FrontOptions {
+    fn default() -> Self {
+        FrontOptions {
+            d_min: None,
+            d_max: None,
+            initial_points: 9,
+            energy_tol: 0.02,
+            max_points: 48,
+            warm_start: true,
+            solve: SolveOptions::default(),
+        }
+    }
+}
+
+impl FrontOptions {
+    /// Overrides the traced deadline range (`None` keeps the default end).
+    pub fn with_range(mut self, d_min: Option<f64>, d_max: Option<f64>) -> Self {
+        self.d_min = d_min;
+        self.d_max = d_max;
+        self
+    }
+
+    /// Overrides the initial grid size (clamped to ≥ 2).
+    pub fn with_initial_points(mut self, n: usize) -> Self {
+        self.initial_points = n.max(2);
+        self
+    }
+
+    /// Overrides the refinement tolerance.
+    pub fn with_energy_tol(mut self, tol: f64) -> Self {
+        self.energy_tol = tol;
+        self
+    }
+
+    /// Overrides the point cap.
+    pub fn with_max_points(mut self, n: usize) -> Self {
+        self.max_points = n;
+        self
+    }
+
+    /// Enables or disables warm starting.
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
+    /// Overrides the per-point solver options.
+    pub fn with_solve(mut self, solve: SolveOptions) -> Self {
+        self.solve = solve;
+        self
+    }
+}
+
+/// How a front point was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PointSource {
+    /// Solved from scratch.
+    Cold,
+    /// Solved warm-started from the previous point.
+    Warm,
+    /// Copied from an earlier point that already reached the energy
+    /// floor (no solve at all).
+    Saturated,
+}
+
+/// One point of a traced Pareto front.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontPoint {
+    /// The deadline this point was solved at.
+    pub deadline: f64,
+    /// Energy of the solution at this deadline.
+    pub energy: f64,
+    /// Achieved worst-case makespan (≤ `deadline`).
+    pub makespan: f64,
+    /// Certified lower bound on the optimal energy, when the solver
+    /// produces one (CONTINUOUS / INCREMENTAL).
+    pub lower_bound: Option<f64>,
+    /// How the point was obtained.
+    pub source: PointSource,
+    /// True if the point was inserted by adaptive refinement (false for
+    /// the initial grid).
+    pub refined: bool,
+}
+
+/// Aggregate work counters of a front trace — the warm-start savings are
+/// visible here without a stopwatch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrontStats {
+    /// Solver invocations (saturated copies excluded).
+    pub solves: usize,
+    /// Solves that consumed a warm seed.
+    pub warm_solves: usize,
+    /// Points copied via the saturation cut instead of solved.
+    pub saturation_hits: usize,
+    /// Points inserted by adaptive refinement.
+    pub refinements: usize,
+    /// Total barrier Newton iterations (CONTINUOUS / INCREMENTAL).
+    pub newton_steps: usize,
+    /// Total branch-and-bound nodes (DISCRETE).
+    pub bnb_nodes: usize,
+    /// Total simplex pivots (VDD-HOPPING).
+    pub lp_pivots: usize,
+}
+
+/// A traced energy/deadline Pareto front, sorted by ascending deadline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoFront {
+    /// The speed model the front was traced under.
+    pub model: SpeedModel,
+    /// Front points, ascending in deadline, monotone non-increasing in
+    /// energy.
+    pub points: Vec<FrontPoint>,
+    /// Aggregate work counters.
+    pub stats: FrontStats,
+}
+
+impl ParetoFront {
+    /// True if energies are non-increasing along the deadline axis
+    /// (always holds for traced fronts; exposed for tests).
+    pub fn is_monotone(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].energy <= w[0].energy * (1.0 + 1e-12) + 1e-12)
+    }
+
+    /// The minimal traced energy achievable within deadline `d`: the
+    /// energy of the loosest traced point with `deadline ≤ d`, or `None`
+    /// if `d` is below the tightest traced deadline.
+    pub fn energy_at(&self, d: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|p| p.deadline <= d * (1.0 + 1e-12))
+            .last()
+            .map(|p| p.energy)
+    }
+
+    /// Total energy span `E(tightest) − E(loosest)` of the front.
+    pub fn energy_span(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => a.energy - b.energy,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The per-model warm state threaded from one front point to the next.
+enum WarmSeed {
+    None,
+    /// CONTINUOUS: previous per-task speeds.
+    Cont(Vec<f64>),
+    /// DISCRETE: previous optimal mode assignment.
+    Disc(Vec<usize>),
+    /// INCREMENTAL: previous continuous stage.
+    Inc(incremental::IncrementalWarm),
+}
+
+/// Solves one front point, consuming `warm` when the model supports it.
+fn solve_point(
+    inst: &Instance,
+    model: &SpeedModel,
+    opts: &SolveOptions,
+    warm: &WarmSeed,
+    stats: &mut FrontStats,
+) -> Result<(FrontPoint, WarmSeed), CoreError> {
+    let aug = inst.augmented_dag();
+    let w = aug.weights();
+    let makespan_of = |speeds: &[f64]| {
+        let durs: Vec<f64> = w.iter().zip(speeds).map(|(wi, f)| wi / f).collect();
+        analysis::critical_path_length(aug, &durs)
+    };
+    stats.solves += 1;
+    let (energy, makespan, lower_bound, warmed, seed) = match model {
+        SpeedModel::Continuous { fmin, fmax } => {
+            let ws = match warm {
+                WarmSeed::Cont(v) => Some(v.as_slice()),
+                _ => None,
+            };
+            let s = continuous::solve_in_box_warm(inst, *fmin, *fmax, &opts.barrier, ws)?;
+            stats.newton_steps += s.newton_steps;
+            // warm_used is false when the SP fast path bypassed the
+            // barrier or the solver rejected the seed.
+            let warmed = s.warm_used;
+            let ms = makespan_of(&s.speeds);
+            // Seed the next point with the barrier iterate when the convex
+            // solver ran, else with the closed-form speeds.
+            let seed = WarmSeed::Cont(s.interior.unwrap_or_else(|| s.speeds.clone()));
+            (s.energy, ms, Some(s.lower_bound), warmed, seed)
+        }
+        SpeedModel::VddHopping { modes } => {
+            let s = vdd::solve_on_dag(aug, inst.deadline, modes)?;
+            stats.lp_pivots += s.pivots;
+            let durs: Vec<f64> = s
+                .segments
+                .iter()
+                .map(|segs| segs.iter().map(|&(_, t)| t).sum())
+                .collect();
+            let ms = analysis::critical_path_length(aug, &durs);
+            (s.energy, ms, None, false, WarmSeed::None)
+        }
+        SpeedModel::Discrete { modes } => {
+            let sd = match warm {
+                WarmSeed::Disc(v) => Some(v.as_slice()),
+                _ => None,
+            };
+            let s = discrete::solve_bnb_seeded(aug, inst.deadline, modes, opts.bnb_bound, sd)?;
+            stats.bnb_nodes += s.nodes;
+            let ms = makespan_of(&s.speeds);
+            (s.energy, ms, None, s.seed_used, WarmSeed::Disc(s.mode_of))
+        }
+        SpeedModel::Incremental { fmin, fmax, delta } => {
+            let iw = match warm {
+                WarmSeed::Inc(v) => Some(v),
+                _ => None,
+            };
+            let s = incremental::solve_on_dag_warm(
+                aug,
+                inst.deadline,
+                *fmin,
+                *fmax,
+                *delta,
+                opts.accuracy_k,
+                iw,
+            )?;
+            stats.newton_steps += s.newton_steps;
+            let ms = makespan_of(&s.speeds);
+            let warmed = iw.is_some();
+            let seed = WarmSeed::Inc(incremental::IncrementalWarm::from(&s));
+            (s.energy, ms, Some(s.lower_bound), warmed, seed)
+        }
+    };
+    if warmed {
+        stats.warm_solves += 1;
+    }
+    Ok((
+        FrontPoint {
+            deadline: inst.deadline,
+            energy,
+            makespan,
+            lower_bound,
+            source: if warmed {
+                PointSource::Warm
+            } else {
+                PointSource::Cold
+            },
+            refined: false,
+        },
+        seed,
+    ))
+}
+
+/// Traces the energy/deadline Pareto front of `inst` under `model`.
+///
+/// The deadline range defaults to `[feasibility edge, saturation
+/// deadline]` (see [`FrontOptions`]); the initial grid is evenly spaced
+/// and then adaptively refined. Solves are warm-started point-to-point
+/// unless [`FrontOptions::warm_start`] is off.
+///
+/// ```
+/// use ea_core::bicrit::pareto::{trace_front, FrontOptions};
+/// use ea_core::speed::SpeedModel;
+/// use ea_core::Instance;
+///
+/// let inst = Instance::fork(1.0, &[2.0, 1.0], 4.0).unwrap();
+/// let opts = FrontOptions::default().with_initial_points(5);
+/// let front = trace_front(&inst, &SpeedModel::continuous(0.5, 2.0), &opts).unwrap();
+/// // tightest deadline costs the most energy, loosest the least
+/// assert!(front.points.first().unwrap().energy >= front.points.last().unwrap().energy);
+/// ```
+pub fn trace_front(
+    inst: &Instance,
+    model: &SpeedModel,
+    opts: &FrontOptions,
+) -> Result<ParetoFront, CoreError> {
+    for (v, what) in [(opts.d_min, "d_min"), (opts.d_max, "d_max")] {
+        if let Some(d) = v {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(CoreError::Infeasible(format!("bad front {what} {d}")));
+            }
+        }
+    }
+    if !(opts.energy_tol.is_finite() && opts.energy_tol > 0.0) {
+        return Err(CoreError::Infeasible(format!(
+            "bad front energy_tol {}",
+            opts.energy_tol
+        )));
+    }
+    let fmin = model.fmin();
+    let fmax = model.fmax();
+    // Nudge off the exact feasibility edge to stay clear of the solvers'
+    // knife-edge tolerances (the barrier's forced-all-fmax window is 1e-7
+    // wide); the energy there is within 1e-4 of the all-fmax value.
+    let d_feas = inst.makespan_at_uniform_speed(fmax) * (1.0 + 1e-4);
+    let d_sat = inst.makespan_at_uniform_speed(fmin);
+    let d_lo = opts.d_min.unwrap_or(d_feas).max(d_feas);
+    let d_hi = opts.d_max.unwrap_or(d_sat).max(d_lo);
+    // An initial grid larger than max_points wins (the caller asked for
+    // those points explicitly); refinement then has no budget left.
+    let n_init = opts.initial_points.max(2);
+    let max_points = opts.max_points.max(n_init);
+
+    let aug = inst.augmented_dag();
+    let e_floor: f64 = aug.weights().iter().map(|wi| wi * fmin * fmin).sum();
+
+    let grid: Vec<f64> = if (d_hi - d_lo) <= 1e-12 * d_hi {
+        vec![d_lo]
+    } else {
+        (0..n_init)
+            .map(|i| d_lo + (d_hi - d_lo) * i as f64 / (n_init - 1) as f64)
+            .collect()
+    };
+
+    let mut stats = FrontStats::default();
+    let mut pts: Vec<(FrontPoint, WarmSeed)> = Vec::with_capacity(max_points);
+    let mut saturated: Option<FrontPoint> = None;
+    for d in grid {
+        if let Some(sat) = &saturated {
+            let mut p = sat.clone();
+            p.deadline = d;
+            p.source = PointSource::Saturated;
+            stats.saturation_hits += 1;
+            pts.push((p, WarmSeed::None));
+            continue;
+        }
+        let warm = match (opts.warm_start, pts.last()) {
+            (true, Some((_, seed))) => seed,
+            _ => &WarmSeed::None,
+        };
+        let inst_d = inst.with_deadline(d)?;
+        let (pt, seed) = solve_point(&inst_d, model, &opts.solve, warm, &mut stats)?;
+        if pt.energy <= e_floor * (1.0 + 1e-9) {
+            saturated = Some(pt.clone());
+        }
+        pts.push((pt, seed));
+    }
+
+    // Adaptive refinement: bisect the adjacent pair with the largest
+    // energy drop until resolved to energy_tol of the span.
+    while pts.len() < max_points {
+        let span = pts[0].0.energy - pts[pts.len() - 1].0.energy;
+        if span <= 0.0 {
+            break;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..pts.len() - 1 {
+            let drop = pts[i].0.energy - pts[i + 1].0.energy;
+            let gap = pts[i + 1].0.deadline - pts[i].0.deadline;
+            if gap <= 1e-6 * d_hi {
+                continue;
+            }
+            if drop > best.map_or(0.0, |(_, b)| b) {
+                best = Some((i, drop));
+            }
+        }
+        let Some((i, drop)) = best else { break };
+        if drop <= opts.energy_tol * span {
+            break;
+        }
+        let mid = 0.5 * (pts[i].0.deadline + pts[i + 1].0.deadline);
+        let warm = if opts.warm_start {
+            &pts[i].1
+        } else {
+            &WarmSeed::None
+        };
+        let inst_d = inst.with_deadline(mid)?;
+        let (mut pt, seed) = solve_point(&inst_d, model, &opts.solve, warm, &mut stats)?;
+        pt.refined = true;
+        stats.refinements += 1;
+        pts.insert(i + 1, (pt, seed));
+    }
+
+    // Monotone envelope: an earlier (tighter-deadline) schedule stays
+    // feasible at every later deadline, so its energy upper-bounds every
+    // later point. Only the approximate INCREMENTAL roundings ever
+    // actually wiggle above it.
+    let mut points: Vec<FrontPoint> = pts.into_iter().map(|(p, _)| p).collect();
+    for i in 1..points.len() {
+        if points[i].energy > points[i - 1].energy {
+            points[i].energy = points[i - 1].energy;
+            points[i].makespan = points[i - 1].makespan;
+            points[i].lower_bound = points[i].lower_bound.map(|lb| lb.min(points[i].energy));
+        }
+    }
+
+    Ok(ParetoFront {
+        model: model.clone(),
+        points,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use ea_taskgraph::generators;
+
+    /// A non-series-parallel mapped instance, so CONTINUOUS exercises the
+    /// barrier (and its warm start) instead of the SP closed form.
+    fn non_sp_instance() -> Instance {
+        let dag = generators::random_layered(4, 3, 0.5, 0.5, 2.0, 11);
+        let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(2), 2.0, f64::MAX)
+            .expect("mapping succeeds");
+        let d = 1.5 * inst.makespan_at_uniform_speed(2.0);
+        inst.with_deadline(d).expect("positive deadline")
+    }
+
+    fn all_models() -> [SpeedModel; 4] {
+        [
+            SpeedModel::continuous(1.0, 2.0),
+            SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+            SpeedModel::discrete(vec![1.0, 1.5, 2.0]),
+            SpeedModel::incremental(1.0, 2.0, 0.25),
+        ]
+    }
+
+    #[test]
+    fn front_spans_edge_to_saturation_for_every_model() {
+        let inst = non_sp_instance();
+        for model in &all_models() {
+            let front = trace_front(&inst, model, &FrontOptions::default())
+                .unwrap_or_else(|e| panic!("{model:?}: {e}"));
+            assert!(front.points.len() >= 2, "{model:?}");
+            assert!(front.is_monotone(), "{model:?}: {:?}", front.points);
+            let first = front.points.first().expect("non-empty");
+            let last = front.points.last().expect("non-empty");
+            // Tight end ≈ all-fmax energy, loose end ≈ the energy floor.
+            let w_sum: f64 = inst.dag.weights().iter().sum();
+            let fmin = model.fmin();
+            let fmax = model.fmax();
+            assert!(
+                first.energy <= w_sum * fmax * fmax * (1.0 + 1e-6),
+                "{model:?}"
+            );
+            assert!(
+                last.energy >= w_sum * fmin * fmin * (1.0 - 1e-6),
+                "{model:?}: {} < floor",
+                last.energy
+            );
+            for p in &front.points {
+                assert!(p.makespan <= p.deadline * (1.0 + 1e-6), "{model:?}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_and_cold_fronts_agree() {
+        let inst = non_sp_instance();
+        for model in &all_models() {
+            // Same fixed grid for both runs (max = initial disables
+            // refinement, whose bisection order may legitimately differ
+            // between warm and cold INCREMENTAL roundings).
+            let opts = FrontOptions::default()
+                .with_initial_points(8)
+                .with_max_points(8);
+            let warm = trace_front(&inst, model, &opts).unwrap();
+            let cold = trace_front(&inst, model, &opts.clone().with_warm_start(false)).unwrap();
+            assert_eq!(warm.points.len(), cold.points.len(), "{model:?}");
+            for (a, b) in warm.points.iter().zip(&cold.points) {
+                assert!(
+                    (a.deadline - b.deadline).abs() <= 1e-9 * a.deadline,
+                    "{model:?}: refinement diverged ({} vs {})",
+                    a.deadline,
+                    b.deadline
+                );
+                // DISCRETE/VDD are exact; the barrier models agree to the
+                // solver gap; INCREMENTAL rounding may differ by a grid
+                // step on ties (covered by the looser bound).
+                let tol = match model {
+                    SpeedModel::Incremental { .. } => 0.08,
+                    _ => 1e-4,
+                };
+                assert!(
+                    (a.energy - b.energy).abs() <= tol * b.energy.max(1e-9),
+                    "{model:?} at D={}: warm {} vs cold {}",
+                    a.deadline,
+                    a.energy,
+                    b.energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_saves_solver_work() {
+        let inst = non_sp_instance();
+        let opts = FrontOptions::default()
+            .with_initial_points(8)
+            .with_max_points(16);
+        let cold_opts = opts.clone().with_warm_start(false);
+
+        // CONTINUOUS: fewer barrier Newton iterations.
+        let model = SpeedModel::continuous(1.0, 2.0);
+        let warm = trace_front(&inst, &model, &opts).unwrap();
+        let cold = trace_front(&inst, &model, &cold_opts).unwrap();
+        assert!(warm.stats.warm_solves > 0, "warm solves must occur");
+        assert!(
+            warm.stats.newton_steps < cold.stats.newton_steps,
+            "warm {} !< cold {} newton steps",
+            warm.stats.newton_steps,
+            cold.stats.newton_steps
+        );
+
+        // DISCRETE: fewer branch-and-bound nodes.
+        let model = SpeedModel::discrete(vec![1.0, 1.25, 1.5, 1.75, 2.0]);
+        let warm = trace_front(&inst, &model, &opts).unwrap();
+        let cold = trace_front(&inst, &model, &cold_opts).unwrap();
+        assert!(warm.stats.warm_solves > 0);
+        assert!(
+            warm.stats.bnb_nodes < cold.stats.bnb_nodes,
+            "warm {} !< cold {} B&B nodes",
+            warm.stats.bnb_nodes,
+            cold.stats.bnb_nodes
+        );
+
+        // INCREMENTAL: fewer Newton iterations (stage 1a is skipped).
+        let model = SpeedModel::incremental(1.0, 2.0, 0.25);
+        let warm = trace_front(&inst, &model, &opts).unwrap();
+        let cold = trace_front(&inst, &model, &cold_opts).unwrap();
+        assert!(warm.stats.warm_solves > 0);
+        assert!(
+            warm.stats.newton_steps < cold.stats.newton_steps,
+            "warm {} !< cold {} newton steps",
+            warm.stats.newton_steps,
+            cold.stats.newton_steps
+        );
+    }
+
+    #[test]
+    fn refinement_resolves_the_knee() {
+        let inst = non_sp_instance();
+        let model = SpeedModel::continuous(1.0, 2.0);
+        let coarse = trace_front(
+            &inst,
+            &model,
+            &FrontOptions::default()
+                .with_initial_points(3)
+                .with_energy_tol(0.5)
+                .with_max_points(3),
+        )
+        .unwrap();
+        let fine = trace_front(
+            &inst,
+            &model,
+            &FrontOptions::default()
+                .with_initial_points(3)
+                .with_energy_tol(0.05)
+                .with_max_points(40),
+        )
+        .unwrap();
+        assert!(fine.points.len() > coarse.points.len());
+        assert!(fine.stats.refinements > 0);
+        assert!(fine.points.iter().any(|p| p.refined));
+        // Unless the point cap stopped refinement early, the front is
+        // resolved: every drop ≤ tol · span.
+        if fine.points.len() < 40 {
+            let span = fine.energy_span();
+            for w in fine.points.windows(2) {
+                assert!(
+                    w[0].energy - w[1].energy <= 0.05 * span + 1e-9,
+                    "unresolved drop {} of span {span}",
+                    w[0].energy - w[1].energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_cut_skips_flat_tail() {
+        let inst = Instance::single_chain(&[1.0, 2.0, 1.5], 6.0).unwrap();
+        let model = SpeedModel::discrete(vec![1.0, 2.0]);
+        // Sweep far past the all-fmin makespan: the tail must be copied.
+        let d_sat = inst.makespan_at_uniform_speed(1.0);
+        let opts = FrontOptions::default()
+            .with_range(None, Some(3.0 * d_sat))
+            .with_initial_points(9);
+        let front = trace_front(&inst, &model, &opts).unwrap();
+        assert!(front.stats.saturation_hits > 0, "{:?}", front.stats);
+        assert!(front
+            .points
+            .iter()
+            .any(|p| p.source == PointSource::Saturated));
+        let floor: f64 = inst.dag.weights().iter().sum::<f64>() * 1.0;
+        let last = front.points.last().expect("non-empty");
+        assert!((last.energy - floor).abs() <= 1e-9 * floor);
+    }
+
+    #[test]
+    fn energy_at_steps_along_the_front() {
+        let inst = Instance::single_chain(&[1.0, 1.0], 4.0).unwrap();
+        let model = SpeedModel::continuous(0.5, 2.0);
+        let front = trace_front(&inst, &model, &FrontOptions::default()).unwrap();
+        let d0 = front.points[0].deadline;
+        assert!(
+            front.energy_at(d0 * 0.5).is_none(),
+            "below the traced range"
+        );
+        let d_last = front.points.last().expect("non-empty").deadline;
+        assert_eq!(
+            front.energy_at(d_last * 2.0),
+            Some(front.points.last().expect("non-empty").energy)
+        );
+        // At an interior traced deadline, energy_at returns that point.
+        let mid = &front.points[front.points.len() / 2];
+        assert_eq!(front.energy_at(mid.deadline), Some(mid.energy));
+    }
+
+    #[test]
+    fn front_serialises_to_json() {
+        let inst = Instance::single_chain(&[1.0, 2.0], 4.0).unwrap();
+        let model = SpeedModel::vdd_hopping(vec![1.0, 2.0]);
+        let front = trace_front(&inst, &model, &FrontOptions::default()).unwrap();
+        let json = serde_json::to_string(&front).expect("serialises");
+        let back: ParetoFront = serde_json::from_str(&json).expect("roundtrips");
+        assert_eq!(back.points.len(), front.points.len());
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        let inst = Instance::single_chain(&[1.0], 4.0).unwrap();
+        let model = SpeedModel::continuous(1.0, 2.0);
+        for bad in [
+            FrontOptions::default().with_range(Some(f64::NAN), None),
+            FrontOptions::default().with_range(None, Some(-1.0)),
+            FrontOptions::default().with_energy_tol(0.0),
+        ] {
+            assert!(trace_front(&inst, &model, &bad).is_err());
+        }
+    }
+}

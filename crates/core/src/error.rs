@@ -8,7 +8,12 @@ pub enum CoreError {
     /// A mapping is internally inconsistent or contradicts the DAG.
     InvalidMapping(String),
     /// The deadline cannot be met even at maximal speed.
-    InfeasibleDeadline { required: f64, deadline: f64 },
+    InfeasibleDeadline {
+        /// The makespan at maximal speed — the smallest meetable deadline.
+        required: f64,
+        /// The deadline that was asked for.
+        deadline: f64,
+    },
     /// No admissible speed assignment satisfies all constraints.
     Infeasible(String),
     /// A schedule failed validation.

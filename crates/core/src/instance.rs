@@ -123,13 +123,20 @@ impl Instance {
     }
 
     /// Returns a copy with a different deadline (for deadline sweeps).
+    /// The precomputed augmented DAG is reused — only the deadline is
+    /// validated, so sweeping deadlines (e.g. `bicrit::pareto`) does not
+    /// re-pay the mapping reduction per point.
     pub fn with_deadline(&self, deadline: f64) -> Result<Self, CoreError> {
-        Self::new(
-            self.dag.clone(),
-            self.platform,
-            self.mapping.clone(),
+        if !(deadline.is_finite() && deadline > 0.0) {
+            return Err(CoreError::Infeasible(format!("bad deadline {deadline}")));
+        }
+        Ok(Instance {
+            dag: self.dag.clone(),
+            platform: self.platform,
+            mapping: self.mapping.clone(),
             deadline,
-        )
+            aug: self.aug.clone(),
+        })
     }
 
     /// Solves BI-CRIT on this instance under `model` — sugar for the

@@ -24,6 +24,29 @@
 //!   the VDD-hopping adaptation.
 //! * [`reductions`] — executable NP-hardness gadgets (2-PARTITION ↪
 //!   DISCRETE BI-CRIT).
+//!
+//! # Quickstart
+//!
+//! Build an [`Instance`] (a mapped DAG plus a deadline), pick a
+//! [`SpeedModel`], and let [`bicrit::solve`] route to the right
+//! algorithm:
+//!
+//! ```
+//! use ea_core::bicrit::{self, SolveOptions};
+//! use ea_core::speed::SpeedModel;
+//! use ea_core::Instance;
+//!
+//! let inst = Instance::single_chain(&[1.0, 2.0, 3.0], 5.0)?;
+//! let model = SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]);
+//! let sol = bicrit::solve(&inst, &model, &SolveOptions::default())?;
+//! assert!(sol.makespan <= inst.deadline * (1.0 + 1e-9));
+//! # Ok::<(), ea_core::CoreError>(())
+//! ```
+//!
+//! Whole trade-off curves come from [`bicrit::pareto::trace_front`],
+//! which sweeps the deadline axis with warm-started solves.
+
+#![warn(missing_docs)]
 
 pub mod bicrit;
 pub mod error;

@@ -16,16 +16,47 @@ pub const SPEED_EPS: f64 = 1e-9;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SpeedModel {
     /// Arbitrary real speeds in `[fmin, fmax]`.
-    Continuous { fmin: f64, fmax: f64 },
+    Continuous {
+        /// Smallest admissible speed.
+        fmin: f64,
+        /// Largest admissible speed.
+        fmax: f64,
+    },
     /// A finite set of modes; one mode per task execution.
-    Discrete { modes: Vec<f64> },
+    Discrete {
+        /// The admissible modes, sorted ascending and deduplicated.
+        modes: Vec<f64>,
+    },
     /// A finite set of modes; a task may switch modes mid-execution.
-    VddHopping { modes: Vec<f64> },
+    VddHopping {
+        /// The admissible modes, sorted ascending and deduplicated.
+        modes: Vec<f64>,
+    },
     /// Modes `fmin + i·δ` for integer `i`, up to `fmax`; one per execution.
-    Incremental { fmin: f64, fmax: f64, delta: f64 },
+    Incremental {
+        /// The grid origin (slowest mode).
+        fmin: f64,
+        /// Upper bound on the grid (the top mode is the largest
+        /// `fmin + i·δ ≤ fmax`).
+        fmax: f64,
+        /// The grid spacing `δ`.
+        delta: f64,
+    },
 }
 
 impl SpeedModel {
+    /// The model family's short lowercase name (`"continuous"`,
+    /// `"discrete"`, `"vdd-hopping"`, `"incremental"`) — stable across
+    /// parameters, handy for CSV columns and plot legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpeedModel::Continuous { .. } => "continuous",
+            SpeedModel::Discrete { .. } => "discrete",
+            SpeedModel::VddHopping { .. } => "vdd-hopping",
+            SpeedModel::Incremental { .. } => "incremental",
+        }
+    }
+
     /// A continuous model; panics on an empty or invalid range.
     pub fn continuous(fmin: f64, fmax: f64) -> Self {
         assert!(fmin > 0.0 && fmax >= fmin, "need 0 < fmin ≤ fmax");

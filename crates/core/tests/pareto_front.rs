@@ -1,0 +1,121 @@
+//! Property tests for the Pareto-front tracer: traced fronts are
+//! monotone non-increasing in energy as the deadline grows, and every
+//! front point's energy matches a cold `bicrit::solve` at that point's
+//! deadline within the model's tolerance.
+
+use ea_core::bicrit::pareto::{trace_front, FrontOptions, PointSource};
+use ea_core::bicrit::{self, SolveOptions};
+use ea_core::instance::Instance;
+use ea_core::platform::Platform;
+use ea_core::speed::SpeedModel;
+use ea_taskgraph::generators;
+use proptest::prelude::*;
+
+/// A mapped random-layered instance (usually non-series-parallel, so the
+/// CONTINUOUS arm exercises the barrier and its warm start).
+fn instance(seed: u64, procs: usize) -> Instance {
+    let dag = generators::random_layered(3, 3, 0.4, 0.5, 2.0, seed);
+    Instance::mapped_by_list_scheduling(dag, Platform::new(procs), 2.0, f64::MAX)
+        .expect("mapping succeeds")
+}
+
+fn models() -> [SpeedModel; 4] {
+    [
+        SpeedModel::continuous(1.0, 2.0),
+        SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+        SpeedModel::discrete(vec![1.0, 1.5, 2.0]),
+        SpeedModel::incremental(1.0, 2.0, 0.25),
+    ]
+}
+
+/// Cold-resolve tolerance per model: DISCRETE and the VDD LP are exact,
+/// the barrier models carry the solver gap, and INCREMENTAL may round a
+/// near-tie to the adjacent grid speed (bounded by one δ step).
+fn resolve_tol(model: &SpeedModel) -> f64 {
+    match model {
+        SpeedModel::Incremental { .. } => 0.08,
+        SpeedModel::Continuous { .. } => 1e-4,
+        _ => 1e-6,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Monotonicity: traced energies never increase along the deadline
+    /// axis, for every model and random instance.
+    #[test]
+    fn fronts_are_monotone_non_increasing(seed in 0u64..40, procs in 2usize..4) {
+        let inst = instance(seed, procs);
+        let opts = FrontOptions::default().with_initial_points(7).with_max_points(10);
+        for model in &models() {
+            let front = trace_front(&inst, model, &opts)
+                .unwrap_or_else(|e| panic!("{model:?} seed {seed}: {e}"));
+            prop_assert!(front.points.len() >= 2);
+            for w in front.points.windows(2) {
+                prop_assert!(w[1].deadline > w[0].deadline, "{model:?}: deadlines not sorted");
+                prop_assert!(
+                    w[1].energy <= w[0].energy * (1.0 + 1e-12) + 1e-12,
+                    "{model:?} seed {seed}: energy rises {} -> {} at D {} -> {}",
+                    w[0].energy, w[1].energy, w[0].deadline, w[1].deadline
+                );
+            }
+            prop_assert!(front.is_monotone());
+        }
+    }
+
+    /// Cold-resolve agreement: a warm-started front point's energy
+    /// matches a fresh `bicrit::solve` at that deadline within tolerance.
+    #[test]
+    fn front_points_match_cold_solves(seed in 0u64..40) {
+        let inst = instance(seed, 2);
+        let opts = FrontOptions::default().with_initial_points(5).with_max_points(7);
+        for model in &models() {
+            let front = trace_front(&inst, model, &opts)
+                .unwrap_or_else(|e| panic!("{model:?} seed {seed}: {e}"));
+            let tol = resolve_tol(model);
+            for p in &front.points {
+                let cold = bicrit::solve(
+                    &inst.with_deadline(p.deadline).expect("positive deadline"),
+                    model,
+                    &SolveOptions::default(),
+                )
+                .unwrap_or_else(|e| panic!("{model:?} cold resolve at D={}: {e}", p.deadline));
+                prop_assert!(
+                    (p.energy - cold.energy).abs() <= tol * cold.energy.max(1e-9),
+                    "{model:?} seed {seed} at D={}: front {} vs cold {} ({:?})",
+                    p.deadline, p.energy, cold.energy, p.source
+                );
+                // The front's certified makespan stays within its deadline.
+                prop_assert!(p.makespan <= p.deadline * (1.0 + 1e-6));
+            }
+        }
+    }
+
+    /// Saturated copies are honest: a cold solve at a saturated point's
+    /// deadline reaches the same (floor) energy.
+    #[test]
+    fn saturated_points_match_cold_solves(seed in 0u64..20) {
+        let inst = instance(seed, 2);
+        let model = SpeedModel::discrete(vec![1.0, 2.0]);
+        let d_sat = inst.makespan_at_uniform_speed(1.0);
+        let opts = FrontOptions::default()
+            .with_range(None, Some(2.0 * d_sat))
+            .with_initial_points(8)
+            .with_max_points(10);
+        let front = trace_front(&inst, &model, &opts).expect("traces");
+        for p in front.points.iter().filter(|p| p.source == PointSource::Saturated) {
+            let cold = bicrit::solve(
+                &inst.with_deadline(p.deadline).expect("positive deadline"),
+                &model,
+                &SolveOptions::default(),
+            )
+            .expect("feasible");
+            prop_assert!(
+                (p.energy - cold.energy).abs() <= 1e-9 * cold.energy,
+                "saturated copy {} vs cold {} at D={}",
+                p.energy, cold.energy, p.deadline
+            );
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Batch Pareto-front tracing: whole energy/deadline trade-off curves
+//! over scenario grids, rayon-parallel, with instance caching and
+//! duplicate-scenario coalescing.
+
+use crate::scenario::DagSpec;
+use ea_core::bicrit::pareto::{trace_front, FrontOptions, ParetoFront};
+use ea_core::error::CoreError;
+use ea_core::instance::Instance;
+use ea_core::platform::Platform;
+use ea_core::speed::SpeedModel;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One front-tracing job: which DAG family, under which speed model,
+/// with which random seed. Unlike [`crate::Scenario`] there is no
+/// deadline multiplier — a front covers the whole deadline axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontScenario {
+    /// The DAG family to instantiate.
+    pub dag: DagSpec,
+    /// The speed model to trace under.
+    pub model: SpeedModel,
+    /// Seed for the random DAG weights.
+    pub seed: u64,
+}
+
+impl FrontScenario {
+    /// The cartesian product `specs × models × seeds`, in deterministic
+    /// row-major order.
+    pub fn grid(specs: &[DagSpec], models: &[SpeedModel], seeds: &[u64]) -> Vec<FrontScenario> {
+        let mut out = Vec::with_capacity(specs.len() * models.len() * seeds.len());
+        for spec in specs {
+            for model in models {
+                for &seed in seeds {
+                    out.push(FrontScenario {
+                        dag: spec.clone(),
+                        model: model.clone(),
+                        seed,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// A short human-readable label (`chain:10 discrete seed 3`).
+    pub fn label(&self) -> String {
+        format!("{} {} seed {}", self.dag, self.model.name(), self.seed)
+    }
+
+    /// The instance-cache key: scenarios sharing DAG family, seed,
+    /// processor count, and mapping reference speed (`f_max`) reduce to
+    /// the *same* mapped instance, so the DAG build + list-scheduling +
+    /// augmented-DAG work is done once per key.
+    fn instance_key(&self, procs: usize) -> (String, u64, usize, u64) {
+        (
+            self.dag.to_string(),
+            self.seed,
+            procs,
+            self.model.fmax().to_bits(),
+        )
+    }
+
+    /// Materialises the mapped [`Instance`] (the deadline is a
+    /// placeholder — [`trace_front`] derives its own deadline range).
+    pub fn instantiate(&self, procs: usize) -> Result<Instance, CoreError> {
+        if procs == 0 {
+            return Err(CoreError::Infeasible("need at least one processor".into()));
+        }
+        let fmax = self.model.fmax();
+        let dag = self.dag.build(self.seed);
+        Instance::mapped_by_list_scheduling(dag, Platform::new(procs), fmax, f64::MAX)
+    }
+}
+
+/// Knobs of a front batch.
+#[derive(Debug, Clone)]
+pub struct FrontBatchOptions {
+    /// Processors of the platform every scenario is mapped onto
+    /// (0 is rejected per scenario).
+    pub procs: usize,
+    /// Front-tracing options handed to [`trace_front`] unchanged.
+    pub front: FrontOptions,
+}
+
+/// Defaults matching [`crate::BatchOptions`]: 2 processors, default
+/// front options.
+impl Default for FrontBatchOptions {
+    fn default() -> Self {
+        FrontBatchOptions {
+            procs: 2,
+            front: FrontOptions::default(),
+        }
+    }
+}
+
+impl FrontBatchOptions {
+    /// Alias for [`FrontBatchOptions::default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Outcome of one front scenario: the traced front, or the failure
+/// reason.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontResult {
+    /// The scenario traced.
+    pub scenario: FrontScenario,
+    /// Task count of the materialised DAG (0 when instantiation failed).
+    pub n_tasks: usize,
+    /// The traced front, when tracing succeeded.
+    pub front: Option<ParetoFront>,
+    /// Wall-clock milliseconds spent on this scenario (0 for coalesced
+    /// duplicates).
+    pub trace_ms: f64,
+    /// The error rendering, when tracing failed.
+    pub error: Option<String>,
+    /// Debug id of the OS thread that traced this scenario.
+    pub worker: String,
+    /// True if this result was copied from an identical scenario earlier
+    /// in the batch instead of re-traced.
+    pub coalesced: bool,
+}
+
+impl FrontResult {
+    /// True if the front was traced.
+    pub fn traced(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// The report of a front batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontReport {
+    /// Scenarios requested.
+    pub scenarios: usize,
+    /// Scenarios whose front traced.
+    pub traced: usize,
+    /// Scenarios that failed.
+    pub failed: usize,
+    /// Scenarios answered from the coalescing cache.
+    pub coalesced: usize,
+    /// Wall-clock milliseconds of the whole batch.
+    pub wall_ms: f64,
+    /// Per-scenario outcomes, in input order.
+    pub results: Vec<FrontResult>,
+}
+
+impl FrontReport {
+    /// Pretty-printed JSON rendering of the report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// CSV rendering of all traced front points:
+    /// `dag,model,seed,deadline,energy,lower_bound,source` — one row per
+    /// point, ready for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("dag,model,seed,deadline,energy,lower_bound,source\n");
+        for r in &self.results {
+            let Some(front) = &r.front else { continue };
+            for p in &front.points {
+                let lb = p.lower_bound.map(|v| format!("{v:.6}")).unwrap_or_default();
+                out.push_str(&format!(
+                    "{},{},{},{:.6},{:.6},{},{:?}\n",
+                    r.scenario.dag,
+                    r.scenario.model.name(),
+                    r.scenario.seed,
+                    p.deadline,
+                    p.energy,
+                    lb,
+                    p.source
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Mapped-instance cache shared by a front batch, keyed by
+/// [`FrontScenario::instance_key`].
+type InstanceCache = Mutex<HashMap<(String, u64, usize, u64), Instance>>;
+
+fn trace_one(
+    scenario: &FrontScenario,
+    opts: &FrontBatchOptions,
+    cache: &InstanceCache,
+) -> FrontResult {
+    let t0 = Instant::now();
+    let mut out = FrontResult {
+        scenario: scenario.clone(),
+        n_tasks: 0,
+        front: None,
+        trace_ms: 0.0,
+        error: None,
+        worker: format!("{:?}", std::thread::current().id()),
+        coalesced: false,
+    };
+    let key = scenario.instance_key(opts.procs);
+    // Instantiate under the lock: building an instance is milliseconds
+    // next to tracing its front, and an atomic check-and-build is what
+    // makes "work is done once per key" hold when parallel workers hit
+    // the same key simultaneously.
+    let inst = {
+        let mut cache = cache.lock().expect("cache lock");
+        match cache.get(&key) {
+            Some(i) => Ok(i.clone()),
+            None => scenario.instantiate(opts.procs).inspect(|i| {
+                cache.insert(key, i.clone());
+            }),
+        }
+    };
+    let inst = match inst {
+        Ok(i) => i,
+        Err(e) => {
+            out.error = Some(e.to_string());
+            out.trace_ms = t0.elapsed().as_secs_f64() * 1e3;
+            return out;
+        }
+    };
+    out.n_tasks = inst.n_tasks();
+    match trace_front(&inst, &scenario.model, &opts.front) {
+        Ok(front) => out.front = Some(front),
+        Err(e) => out.error = Some(e.to_string()),
+    }
+    out.trace_ms = t0.elapsed().as_secs_f64() * 1e3;
+    out
+}
+
+/// Traces every scenario's front in parallel (rayon), coalescing
+/// duplicate scenarios (a grid whose deadline multipliers were dropped
+/// often repeats (dag, model, seed) triples) and caching mapped
+/// instances per (dag, seed, procs, `f_max`) so repeated reductions are
+/// skipped. Results keep the input order.
+pub fn run_front(scenarios: &[FrontScenario], opts: &FrontBatchOptions) -> FrontReport {
+    let t0 = Instant::now();
+    let n = scenarios.len();
+
+    // Coalesce exact duplicates: trace the first occurrence, copy the rest.
+    let mut first_of: HashMap<String, usize> = HashMap::new();
+    let mut dup_of: Vec<Option<usize>> = vec![None; n];
+    let mut unique: Vec<usize> = Vec::with_capacity(n);
+    for (i, s) in scenarios.iter().enumerate() {
+        let key = format!("{:?}", s);
+        match first_of.get(&key) {
+            Some(&j) => dup_of[i] = Some(j),
+            None => {
+                first_of.insert(key, i);
+                unique.push(i);
+            }
+        }
+    }
+
+    // Shared instance cache across the whole batch.
+    let cache: InstanceCache = Mutex::new(HashMap::new());
+
+    let traced: Vec<FrontResult> = unique
+        .iter()
+        .map(|&i| scenarios[i].clone())
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|s| trace_one(&s, opts, &cache))
+        .collect();
+    let mut results: Vec<Option<FrontResult>> = vec![None; n];
+    for (&slot, r) in unique.iter().zip(traced) {
+        results[slot] = Some(r);
+    }
+    for i in 0..n {
+        if let Some(j) = dup_of[i] {
+            let mut r = results[j].clone().expect("unique traced first");
+            r.scenario = scenarios[i].clone();
+            r.coalesced = true;
+            r.trace_ms = 0.0;
+            results[i] = Some(r);
+        }
+    }
+    let results: Vec<FrontResult> = results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    let traced_n = results.iter().filter(|r| r.traced()).count();
+    let coalesced = results.iter().filter(|r| r.coalesced).count();
+    FrontReport {
+        scenarios: n,
+        traced: traced_n,
+        failed: n - traced_n,
+        coalesced,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> FrontBatchOptions {
+        let mut o = FrontBatchOptions::new();
+        o.front = FrontOptions::default()
+            .with_initial_points(5)
+            .with_max_points(8);
+        o
+    }
+
+    #[test]
+    fn front_batch_traces_all_models_in_order() {
+        let scenarios = FrontScenario::grid(
+            &[DagSpec::Chain { n: 5 }, DagSpec::Fork { branches: 3 }],
+            &[
+                SpeedModel::continuous(1.0, 2.0),
+                SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+                SpeedModel::discrete(vec![1.0, 1.5, 2.0]),
+                SpeedModel::incremental(1.0, 2.0, 0.25),
+            ],
+            &[0, 1],
+        );
+        let report = run_front(&scenarios, &opts());
+        assert_eq!(report.scenarios, scenarios.len());
+        assert_eq!(report.traced, scenarios.len(), "all fronts trace");
+        for (r, s) in report.results.iter().zip(&scenarios) {
+            assert_eq!(&r.scenario, s, "input order preserved");
+            let front = r.front.as_ref().expect("traced");
+            assert!(front.is_monotone(), "{}", s.label());
+            assert!(front.points.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn duplicate_scenarios_are_coalesced() {
+        let one = FrontScenario {
+            dag: DagSpec::Chain { n: 6 },
+            model: SpeedModel::discrete(vec![1.0, 2.0]),
+            seed: 3,
+        };
+        let scenarios = vec![one.clone(), one.clone(), one];
+        let report = run_front(&scenarios, &opts());
+        assert_eq!(report.coalesced, 2);
+        let energies: Vec<Vec<u64>> = report
+            .results
+            .iter()
+            .map(|r| {
+                r.front
+                    .as_ref()
+                    .expect("traced")
+                    .points
+                    .iter()
+                    .map(|p| p.energy.to_bits())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(energies[0], energies[1]);
+        assert_eq!(energies[0], energies[2]);
+        assert!(report.results[1].coalesced && report.results[2].coalesced);
+        assert!(!report.results[0].coalesced);
+    }
+
+    #[test]
+    fn instance_cache_is_shared_across_models_with_equal_fmax() {
+        // Same dag/seed/procs and fmax = 2.0 under two models: the second
+        // scenario must reuse the cached instance (observable only through
+        // consistency here; the cache itself is internal).
+        let scenarios = vec![
+            FrontScenario {
+                dag: DagSpec::Chain { n: 6 },
+                model: SpeedModel::continuous(1.0, 2.0),
+                seed: 5,
+            },
+            FrontScenario {
+                dag: DagSpec::Chain { n: 6 },
+                model: SpeedModel::discrete(vec![1.0, 2.0]),
+                seed: 5,
+            },
+        ];
+        let report = run_front(&scenarios, &opts());
+        assert_eq!(report.traced, 2);
+        assert_eq!(report.results[0].n_tasks, report.results[1].n_tasks);
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        let scenarios = vec![FrontScenario {
+            dag: DagSpec::Chain { n: 4 },
+            model: SpeedModel::continuous(1.0, 2.0),
+            seed: 0,
+        }];
+        let mut o = opts();
+        o.procs = 0; // rejected per scenario
+        let report = run_front(&scenarios, &o);
+        assert_eq!(report.failed, 1);
+        assert!(report.results[0].error.is_some());
+    }
+
+    #[test]
+    fn report_serialises_to_json_and_csv() {
+        let scenarios = vec![FrontScenario {
+            dag: DagSpec::Chain { n: 4 },
+            model: SpeedModel::vdd_hopping(vec![1.0, 2.0]),
+            seed: 1,
+        }];
+        let report = run_front(&scenarios, &opts());
+        let json = report.to_json();
+        let back: FrontReport = serde_json::from_str(&json).expect("roundtrips");
+        assert_eq!(back.scenarios, report.scenarios);
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("dag,model,seed,deadline,energy,lower_bound,source")
+        );
+        let first = lines.next().expect("at least one point row");
+        assert!(first.starts_with("chain:4,vdd-hopping,1,"), "{first}");
+    }
+}

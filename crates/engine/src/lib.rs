@@ -14,6 +14,10 @@
 //! * [`run_batch`] — evaluates scenarios in parallel (rayon) through
 //!   [`ea_core::bicrit::solve`], returning a [`BatchReport`] with
 //!   per-scenario [`ScenarioResult`]s and JSON serialisation.
+//! * [`run_front`] — traces whole energy/deadline Pareto fronts
+//!   ([`ea_core::bicrit::pareto`]) over a [`FrontScenario`] grid, with
+//!   duplicate coalescing and a shared mapped-instance cache, emitting a
+//!   [`FrontReport`] (JSON or CSV).
 //!
 //! ```no_run
 //! use ea_engine::{run_batch, BatchOptions, DagSpec, Scenario};
@@ -30,7 +34,9 @@
 //! ```
 
 mod batch;
+mod front;
 mod scenario;
 
 pub use batch::{run_batch, BatchOptions, BatchReport, FaultStats, ScenarioResult};
+pub use front::{run_front, FrontBatchOptions, FrontReport, FrontResult, FrontScenario};
 pub use scenario::{DagSpec, Scenario};

@@ -27,3 +27,11 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
 echo "lint gate: OK"
+
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> cargo test --doc --workspace"
+cargo test --doc --workspace -q
+
+echo "docs gate: OK"

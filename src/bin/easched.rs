@@ -18,14 +18,25 @@
 //!         --mults 1.2,1.6 --seeds 4 --procs 3
 //! ```
 //!
+//! Front mode traces whole energy/deadline Pareto fronts (warm-started
+//! deadline sweeps) instead of single points, as JSON or CSV:
+//!
+//! ```text
+//! easched --front --scenarios chain:10 --models continuous,discrete --csv
+//! easched --front --front-points 12 --front-tol 0.01 --json
+//! ```
+//!
 //! The deadline is `--mult ×` the fastest possible makespan *under the
 //! chosen model* (its largest mode for vdd/discrete, `--fmax` for
 //! continuous/incremental), so `--mult 1.2` always means 20% real slack.
 //!
 //! Exit code 2 signals an infeasible deadline; 1 a usage error.
 
+use energy_aware_scheduling::core::bicrit::pareto::FrontOptions;
 use energy_aware_scheduling::core::bicrit::{self, SolveOptions};
-use energy_aware_scheduling::engine::{run_batch, BatchOptions, DagSpec, Scenario};
+use energy_aware_scheduling::engine::{
+    run_batch, run_front, BatchOptions, DagSpec, FrontBatchOptions, FrontScenario, Scenario,
+};
 use energy_aware_scheduling::prelude::*;
 use std::process::ExitCode;
 
@@ -47,6 +58,23 @@ struct Args {
     mults: Vec<f64>,
     seeds: u64,
     mc_runs: usize,
+    front: bool,
+    front_points: usize,
+    front_tol: f64,
+    csv: bool,
+    cold: bool,
+    /// Batch-only flags the user actually passed — rejected outside
+    /// `--batch` instead of silently ignored.
+    batch_only_flags: Vec<&'static str>,
+    /// Front-only flags the user actually passed — rejected outside
+    /// `--front` instead of silently ignored.
+    front_only_flags: Vec<&'static str>,
+    /// Single-solve-only flags (`--dag`, `--model`, `--mult`, `--seed`)
+    /// the user actually passed — rejected under `--batch`/`--front`.
+    single_only_flags: Vec<&'static str>,
+    /// Grid-only flags (`--scenarios`, `--models`, `--seeds`) the user
+    /// actually passed — rejected in single-solve mode.
+    grid_only_flags: Vec<&'static str>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,6 +95,15 @@ fn parse_args() -> Result<Args, String> {
         mults: vec![1.2, 1.6],
         seeds: 2,
         mc_runs: 0,
+        front: false,
+        front_points: 9,
+        front_tol: 0.02,
+        csv: false,
+        cold: false,
+        batch_only_flags: Vec::new(),
+        front_only_flags: Vec::new(),
+        single_only_flags: Vec::new(),
+        grid_only_flags: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,19 +113,34 @@ fn parse_args() -> Result<Args, String> {
             .cloned()
             .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
     };
+    // Empty segments are dropped (not parse errors), so "--mults ," yields
+    // an empty list and surfaces as the clear empty-grid error below.
     let floats = |s: &str, flag: &str| -> Result<Vec<f64>, String> {
         s.split(',')
+            .filter(|x| !x.trim().is_empty())
             .map(|x| x.trim().parse::<f64>())
             .collect::<Result<_, _>>()
             .map_err(|e| format!("{flag}: {e}"))
     };
     while i < argv.len() {
         match argv[i].as_str() {
-            "--dag" => args.dag = take(&mut i)?,
-            "--model" => args.model = take(&mut i)?.to_lowercase(),
-            "--mult" => args.mult = take(&mut i)?.parse().map_err(|e| format!("--mult: {e}"))?,
+            "--dag" => {
+                args.dag = take(&mut i)?;
+                args.single_only_flags.push("--dag");
+            }
+            "--model" => {
+                args.model = take(&mut i)?.to_lowercase();
+                args.single_only_flags.push("--model");
+            }
+            "--mult" => {
+                args.mult = take(&mut i)?.parse().map_err(|e| format!("--mult: {e}"))?;
+                args.single_only_flags.push("--mult");
+            }
             "--procs" => args.procs = take(&mut i)?.parse().map_err(|e| format!("--procs: {e}"))?,
-            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                args.single_only_flags.push("--seed");
+            }
             "--delta" => args.delta = take(&mut i)?.parse().map_err(|e| format!("--delta: {e}"))?,
             "--fmin" => args.fmin = take(&mut i)?.parse().map_err(|e| format!("--fmin: {e}"))?,
             "--fmax" => args.fmax = take(&mut i)?.parse().map_err(|e| format!("--fmax: {e}"))?,
@@ -99,20 +151,52 @@ fn parse_args() -> Result<Args, String> {
                 args.scenarios = take(&mut i)?
                     .split(',')
                     .map(|s| s.trim().to_string())
-                    .collect()
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                args.grid_only_flags.push("--scenarios");
             }
             "--models" => {
                 args.models = take(&mut i)?
                     .split(',')
                     .map(|s| s.trim().to_lowercase())
-                    .collect()
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                args.grid_only_flags.push("--models");
             }
-            "--mults" => args.mults = floats(&take(&mut i)?, "--mults")?,
-            "--seeds" => args.seeds = take(&mut i)?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--mults" => {
+                args.mults = floats(&take(&mut i)?, "--mults")?;
+                args.batch_only_flags.push("--mults");
+            }
+            "--seeds" => {
+                args.seeds = take(&mut i)?.parse().map_err(|e| format!("--seeds: {e}"))?;
+                args.grid_only_flags.push("--seeds");
+            }
             "--mc-runs" => {
                 args.mc_runs = take(&mut i)?
                     .parse()
-                    .map_err(|e| format!("--mc-runs: {e}"))?
+                    .map_err(|e| format!("--mc-runs: {e}"))?;
+                args.batch_only_flags.push("--mc-runs");
+            }
+            "--front" => args.front = true,
+            "--front-points" => {
+                args.front_points = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--front-points: {e}"))?;
+                args.front_only_flags.push("--front-points");
+            }
+            "--front-tol" => {
+                args.front_tol = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--front-tol: {e}"))?;
+                args.front_only_flags.push("--front-tol");
+            }
+            "--csv" => {
+                args.csv = true;
+                args.front_only_flags.push("--csv");
+            }
+            "--cold" => {
+                args.cold = true;
+                args.front_only_flags.push("--cold");
             }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
@@ -148,11 +232,56 @@ fn validate(args: &Args) -> Result<(), String> {
     for m in &args.mults {
         positive(*m, "--mults")?;
     }
-    if args.batch && args.seeds == 0 {
+    if (args.batch || args.front) && args.seeds == 0 {
         return Err("--seeds must be ≥ 1".into());
     }
     if args.batch && args.mc_runs > 0 && args.fmin >= args.fmax {
         return Err("--mc-runs needs a non-degenerate speed range (--fmin < --fmax)".into());
+    }
+    if args.batch && args.front {
+        return Err("--batch and --front are mutually exclusive".into());
+    }
+    // Mode-exclusive flags are rejected in the wrong mode, not ignored.
+    if !args.batch {
+        if let Some(f) = args.batch_only_flags.first() {
+            return Err(format!("{f} requires --batch"));
+        }
+    }
+    if !args.front {
+        if let Some(f) = args.front_only_flags.first() {
+            return Err(format!("{f} requires --front"));
+        }
+    }
+    if args.batch || args.front {
+        if let Some(f) = args.single_only_flags.first() {
+            return Err(format!(
+                "{f} applies to single-solve mode only (not --batch/--front)"
+            ));
+        }
+    } else if let Some(f) = args.grid_only_flags.first() {
+        return Err(format!("{f} requires --batch or --front"));
+    }
+    if args.front {
+        if args.front_points < 2 {
+            return Err("--front-points must be ≥ 2".into());
+        }
+        positive(args.front_tol, "--front-tol")?;
+        if args.csv && args.json {
+            return Err("--csv and --json are mutually exclusive".into());
+        }
+    }
+    // An empty grid would otherwise surface as a contentless report: name
+    // the flag that emptied it instead.
+    if args.batch || args.front {
+        if args.scenarios.is_empty() {
+            return Err("scenario grid is empty: --scenarios has no values".into());
+        }
+        if args.models.is_empty() {
+            return Err("scenario grid is empty: --models has no values".into());
+        }
+        if args.batch && args.mults.is_empty() {
+            return Err("scenario grid is empty: --mults has no values".into());
+        }
     }
     Ok(())
 }
@@ -163,7 +292,9 @@ fn usage() {
          [--model continuous|vdd|discrete|incremental] [--modes f1,f2,..] \
          [--mult X] [--procs P] [--seed S] [--delta D] [--fmin F] [--fmax F] [--json]\n\
        batch: easched --batch [--scenarios spec1,spec2,..] [--models m1,m2,..] \
-         [--mults x1,x2,..] [--seeds N] [--mc-runs R] [--procs P]"
+         [--mults x1,x2,..] [--seeds N] [--mc-runs R] [--procs P]\n\
+       front: easched --front [--scenarios spec1,..] [--models m1,..] [--seeds N] \
+         [--front-points N] [--front-tol X] [--cold] [--csv|--json] [--procs P]"
     );
 }
 
@@ -252,6 +383,9 @@ fn run_batch_mode(args: &Args) -> Result<ExitCode, String> {
         .collect::<Result<_, _>>()?;
     let seeds: Vec<u64> = (0..args.seeds).collect();
     let scenarios = Scenario::grid(&specs, &models, &args.mults, &seeds);
+    if scenarios.is_empty() {
+        return Err("scenario grid is empty".into());
+    }
 
     let opts = BatchOptions {
         procs: args.procs,
@@ -275,6 +409,48 @@ fn run_batch_mode(args: &Args) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn run_front_mode(args: &Args) -> Result<ExitCode, String> {
+    let specs: Vec<DagSpec> = args
+        .scenarios
+        .iter()
+        .map(|s| DagSpec::parse(s))
+        .collect::<Result<_, _>>()?;
+    let models: Vec<SpeedModel> = args
+        .models
+        .iter()
+        .map(|m| build_model(m, args))
+        .collect::<Result<_, _>>()?;
+    let seeds: Vec<u64> = (0..args.seeds).collect();
+    let scenarios = FrontScenario::grid(&specs, &models, &seeds);
+    if scenarios.is_empty() {
+        return Err("scenario grid is empty".into());
+    }
+
+    let opts = FrontBatchOptions {
+        procs: args.procs,
+        front: FrontOptions::default()
+            .with_initial_points(args.front_points)
+            // Refinement headroom proportional to the requested grid, so
+            // the output stays the same order of size as asked for.
+            .with_max_points(args.front_points.saturating_mul(2))
+            .with_energy_tol(args.front_tol)
+            .with_warm_start(!args.cold),
+    };
+    let report = run_front(&scenarios, &opts);
+    if args.csv {
+        print!("{}", report.to_csv());
+    } else {
+        if !args.json {
+            eprintln!(
+                "front: {} scenarios, {} traced, {} failed ({} coalesced) in {:.0} ms",
+                report.scenarios, report.traced, report.failed, report.coalesced, report.wall_ms
+            );
+        }
+        println!("{}", report.to_json());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -288,6 +464,8 @@ fn main() -> ExitCode {
     };
     let run = if args.batch {
         run_batch_mode(&args)
+    } else if args.front {
+        run_front_mode(&args)
     } else {
         run_single(&args)
     };

@@ -117,3 +117,141 @@ fn batch_mode_rejects_bad_scenario_specs() {
         stderr(&out)
     );
 }
+
+#[test]
+fn batch_mode_reports_empty_grid_clearly() {
+    // "--mults ," parses to zero values: the grid is empty and the error
+    // must say so (naming the flag), not panic or print an empty report.
+    for args in [
+        ["--batch", "--mults", ","],
+        ["--batch", "--scenarios", ","],
+        ["--batch", "--models", ","],
+        ["--front", "--scenarios", ","],
+        ["--front", "--models", ","],
+    ] {
+        let out = easched(&args);
+        assert_eq!(code(&out), 1, "{args:?}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("scenario grid is empty"),
+            "{args:?}: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains(args[1]),
+            "{args:?}: error must name the flag: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn front_mode_emits_a_json_report() {
+    let out = easched(&[
+        "--front",
+        "--scenarios",
+        "chain:5",
+        "--models",
+        "continuous,discrete",
+        "--seeds",
+        "1",
+        "--front-points",
+        "4",
+        "--json",
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("\"points\""), "{stdout}");
+    assert!(stdout.contains("\"scenarios\": 2"), "{stdout}");
+}
+
+#[test]
+fn front_mode_emits_csv() {
+    let out = easched(&[
+        "--front",
+        "--scenarios",
+        "chain:4",
+        "--models",
+        "vdd",
+        "--seeds",
+        "1",
+        "--front-points",
+        "4",
+        "--csv",
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some("dag,model,seed,deadline,energy,lower_bound,source")
+    );
+    assert!(lines
+        .next()
+        .unwrap_or("")
+        .starts_with("chain:4,vdd-hopping,0,"));
+}
+
+#[test]
+fn front_mode_rejects_bad_knobs() {
+    let out = easched(&["--front", "--front-points", "1"]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("--front-points"), "{}", stderr(&out));
+    let out = easched(&["--front", "--front-tol", "0"]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("--front-tol"), "{}", stderr(&out));
+    let out = easched(&["--front", "--batch"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--front", "--csv", "--json"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--csv and --json"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn mode_exclusive_flags_are_rejected_not_ignored() {
+    let out = easched(&["--batch", "--scenarios", "chain:4", "--csv"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--csv requires --front"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--front", "--mults", "1.2"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--mults requires --batch"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--front-points", "4"]); // single-solve mode
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--front-points requires --front"),
+        "{}",
+        stderr(&out)
+    );
+    // Grid flags without a grid mode, and single-solve flags under one,
+    // are errors too — never silently ignored.
+    let out = easched(&["--scenarios", "chain:50", "--models", "discrete"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--scenarios requires --batch or --front"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--batch", "--mult", "3.0"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--mult applies to single-solve mode"),
+        "{}",
+        stderr(&out)
+    );
+}
