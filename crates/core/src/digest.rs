@@ -1,0 +1,342 @@
+//! Canonical content digests for solve-request caching.
+//!
+//! A serving layer in front of the solvers wants to answer *semantically
+//! identical* requests from a cache: the same DAG (up to a relabelling of
+//! task indices and a reordering of the edge list), mapped the same way,
+//! under the same deadline, speed model, and solver knobs, must produce
+//! the same key — while perturbing any weight, deadline, mode, or option
+//! must change it.
+//!
+//! The canonical form exploits a property the paper's setting guarantees:
+//! the mapping lists every task exactly once as *(processor, rank in that
+//! processor's execution order)*, and that pair is semantic — it survives
+//! any relabelling of task indices. Tasks are therefore enumerated
+//! processor by processor, rank by rank, and edges are rewritten into
+//! canonical indices and sorted before hashing, so neither the original
+//! task numbering nor the edge insertion order leaks into the digest.
+//!
+//! Hashing is 64-bit FNV-1a over a tagged byte stream ([`Hasher64`]) —
+//! no external dependencies, stable across runs and platforms. Floats are
+//! hashed by IEEE bit pattern with `-0.0` folded onto `0.0`.
+//!
+//! ```
+//! use ea_core::bicrit::SolveOptions;
+//! use ea_core::digest::solve_request_digest;
+//! use ea_core::speed::SpeedModel;
+//! use ea_core::Instance;
+//!
+//! let inst = Instance::single_chain(&[1.0, 2.0], 4.0).unwrap();
+//! let model = SpeedModel::continuous(1.0, 2.0);
+//! let opts = SolveOptions::default();
+//! let d = solve_request_digest(&inst, &model, &opts);
+//! assert_eq!(d, solve_request_digest(&inst, &model, &opts), "deterministic");
+//! let other = SpeedModel::continuous(1.0, 2.5);
+//! assert_ne!(d, solve_request_digest(&inst, &other, &opts));
+//! ```
+
+use crate::bicrit::{BnbBound, SolveOptions};
+use crate::instance::Instance;
+use crate::speed::SpeedModel;
+
+/// Incremental 64-bit FNV-1a hasher over a tagged byte stream.
+///
+/// Every `write_*` method feeds a type tag before the payload, so adjacent
+/// fields cannot alias (e.g. the pair `(1u64, 2u64)` hashes differently
+/// from `(12u64,)` spelled as bytes).
+#[derive(Debug, Clone)]
+pub struct Hasher64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Hasher64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Hasher64 { state: FNV_OFFSET }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds raw bytes (no tag — building block for the tagged writers).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    /// Feeds a tagged `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.byte(0x01);
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a tagged `usize` (hashed as `u64`, stable across word sizes).
+    pub fn write_usize(&mut self, v: usize) {
+        self.byte(0x02);
+        self.write_bytes(&(v as u64).to_le_bytes());
+    }
+
+    /// Feeds a tagged `f64` by bit pattern, folding `-0.0` onto `0.0` and
+    /// every NaN onto one canonical pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.byte(0x03);
+        let bits = if v == 0.0 {
+            0u64 // +0.0 and -0.0 compare equal: same digest
+        } else if v.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            v.to_bits()
+        };
+        self.write_bytes(&bits.to_le_bytes());
+    }
+
+    /// Feeds a tagged UTF-8 string (length-prefixed).
+    pub fn write_str(&mut self, s: &str) {
+        self.byte(0x04);
+        self.write_bytes(&(s.len() as u64).to_le_bytes());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        // One final avalanche round (splitmix64) so shard selection by
+        // prefix bits sees well-mixed high bits even for tiny inputs.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Writes the canonical form of an instance: platform size, deadline, and
+/// per-task (weight, processor) in canonical *(processor, rank)* order,
+/// then the edge relation rewritten to canonical indices and sorted.
+pub fn write_instance(h: &mut Hasher64, inst: &Instance) {
+    h.write_str("instance-v1");
+    let n = inst.n_tasks();
+    h.write_usize(n);
+    h.write_usize(inst.platform.processors);
+    h.write_f64(inst.deadline);
+
+    // Canonical index of each task: enumeration order processor by
+    // processor, rank by rank. The mapping lists every task exactly once,
+    // so this is a total order independent of the original task ids.
+    let mut canon = vec![0usize; n];
+    let mut next = 0usize;
+    for p in 0..inst.mapping.n_processors() {
+        for &t in inst.mapping.order_on(p) {
+            canon[t] = next;
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next, n, "mapping covers every task exactly once");
+
+    // Per-task payload in canonical order: weight and processor. The rank
+    // is implied by the enumeration itself.
+    let weights = inst.dag.weights();
+    let mut by_canon: Vec<(usize, usize)> = (0..n).map(|t| (canon[t], t)).collect();
+    by_canon.sort_unstable();
+    for &(_, t) in &by_canon {
+        h.write_f64(weights[t]);
+        h.write_usize(inst.mapping.processor_of(t));
+    }
+
+    // Edges in canonical indices, sorted — insertion order cannot leak.
+    let mut edges: Vec<(usize, usize)> = inst
+        .dag
+        .edges()
+        .iter()
+        .map(|&(s, d)| (canon[s], canon[d]))
+        .collect();
+    edges.sort_unstable();
+    h.write_usize(edges.len());
+    for (s, d) in edges {
+        h.write_usize(s);
+        h.write_usize(d);
+    }
+}
+
+/// Writes a speed model: variant tag plus parameters (mode lists are
+/// hashed in their normalised sorted order).
+pub fn write_speed_model(h: &mut Hasher64, model: &SpeedModel) {
+    match model {
+        SpeedModel::Continuous { fmin, fmax } => {
+            h.write_str("continuous");
+            h.write_f64(*fmin);
+            h.write_f64(*fmax);
+        }
+        SpeedModel::Discrete { modes } => {
+            h.write_str("discrete");
+            write_modes(h, modes);
+        }
+        SpeedModel::VddHopping { modes } => {
+            h.write_str("vdd-hopping");
+            write_modes(h, modes);
+        }
+        SpeedModel::Incremental { fmin, fmax, delta } => {
+            h.write_str("incremental");
+            h.write_f64(*fmin);
+            h.write_f64(*fmax);
+            h.write_f64(*delta);
+        }
+    }
+}
+
+fn write_modes(h: &mut Hasher64, modes: &[f64]) {
+    // Constructors normalise (sort + dedup) already; re-sorting here keeps
+    // the digest canonical even for hand-built variants.
+    let mut sorted = modes.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite modes"));
+    h.write_usize(sorted.len());
+    for m in sorted {
+        h.write_f64(m);
+    }
+}
+
+/// Writes every solver knob of [`SolveOptions`] — any change to a barrier
+/// tolerance, the B&B bound, or the INCREMENTAL accuracy changes the key.
+pub fn write_solve_options(h: &mut Hasher64, opts: &SolveOptions) {
+    h.write_str("solve-options-v1");
+    h.write_f64(opts.barrier.t0);
+    h.write_f64(opts.barrier.mu);
+    h.write_f64(opts.barrier.tol);
+    h.write_f64(opts.barrier.newton_tol);
+    h.write_usize(opts.barrier.max_newton);
+    h.write_f64(opts.barrier.ls_alpha);
+    h.write_f64(opts.barrier.ls_beta);
+    h.write_str(match opts.bnb_bound {
+        BnbBound::Simple => "bnb-simple",
+        BnbBound::VddRelaxation => "bnb-vdd-relaxation",
+    });
+    h.write_usize(opts.accuracy_k);
+}
+
+/// The cache key of a full solve request: instance × speed model × solver
+/// options, canonically hashed. Two requests with equal digests are
+/// answered by the same solve.
+pub fn solve_request_digest(inst: &Instance, model: &SpeedModel, opts: &SolveOptions) -> u64 {
+    let mut h = Hasher64::new();
+    h.write_str("solve-request-v1");
+    write_instance(&mut h, inst);
+    write_speed_model(&mut h, model);
+    write_solve_options(&mut h, opts);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{Mapping, Platform};
+    use ea_taskgraph::Dag;
+
+    fn chain_inst() -> Instance {
+        Instance::single_chain(&[1.0, 2.0, 3.0], 9.0).unwrap()
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let a = chain_inst().canonical_digest();
+        let b = chain_inst().canonical_digest();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn task_relabelling_does_not_change_digest() {
+        // Chain 0→1→2 with weights [1,2,3] on one processor, versus the
+        // same semantic chain with task indices reversed.
+        let a = Instance::new(
+            Dag::from_parts(vec![1.0, 2.0, 3.0], [(0, 1), (1, 2)]).unwrap(),
+            Platform::single(),
+            Mapping::single_processor(vec![0, 1, 2]),
+            9.0,
+        )
+        .unwrap();
+        let b = Instance::new(
+            Dag::from_parts(vec![3.0, 2.0, 1.0], [(2, 1), (1, 0)]).unwrap(),
+            Platform::single(),
+            Mapping::single_processor(vec![2, 1, 0]),
+            9.0,
+        )
+        .unwrap();
+        assert_eq!(a.canonical_digest(), b.canonical_digest());
+    }
+
+    #[test]
+    fn weight_and_deadline_perturbations_change_digest() {
+        let base = chain_inst().canonical_digest();
+        let heavier = Instance::single_chain(&[1.0, 2.0, 3.5], 9.0).unwrap();
+        assert_ne!(base, heavier.canonical_digest());
+        let later = Instance::single_chain(&[1.0, 2.0, 3.0], 9.5).unwrap();
+        assert_ne!(base, later.canonical_digest());
+    }
+
+    #[test]
+    fn edge_structure_is_part_of_the_digest() {
+        // Same weights and mapping, one extra precedence edge.
+        let sparse = Instance::new(
+            Dag::from_parts(vec![1.0, 1.0, 1.0], [(0, 1), (1, 2)]).unwrap(),
+            Platform::single(),
+            Mapping::single_processor(vec![0, 1, 2]),
+            9.0,
+        )
+        .unwrap();
+        let dense = Instance::new(
+            Dag::from_parts(vec![1.0, 1.0, 1.0], [(0, 1), (1, 2), (0, 2)]).unwrap(),
+            Platform::single(),
+            Mapping::single_processor(vec![0, 1, 2]),
+            9.0,
+        )
+        .unwrap();
+        assert_ne!(sparse.canonical_digest(), dense.canonical_digest());
+    }
+
+    #[test]
+    fn model_variants_with_equal_ranges_differ() {
+        let inst = chain_inst();
+        let opts = SolveOptions::default();
+        let cont = solve_request_digest(&inst, &SpeedModel::continuous(1.0, 2.0), &opts);
+        let inc = solve_request_digest(&inst, &SpeedModel::incremental(1.0, 2.0, 0.25), &opts);
+        let disc = solve_request_digest(&inst, &SpeedModel::discrete(vec![1.0, 2.0]), &opts);
+        let vdd = solve_request_digest(&inst, &SpeedModel::vdd_hopping(vec![1.0, 2.0]), &opts);
+        let all = [cont, inc, disc, vdd];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j], "models {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_options_knobs_change_digest() {
+        let inst = chain_inst();
+        let model = SpeedModel::discrete(vec![1.0, 2.0]);
+        let base = solve_request_digest(&inst, &model, &SolveOptions::default());
+        let simple = SolveOptions::default().with_bnb_bound(BnbBound::Simple);
+        assert_ne!(base, solve_request_digest(&inst, &model, &simple));
+        let k = SolveOptions::default().with_accuracy_k(99);
+        assert_ne!(base, solve_request_digest(&inst, &model, &k));
+        let mut loose = SolveOptions::default();
+        loose.barrier.tol = 1e-4;
+        assert_ne!(base, solve_request_digest(&inst, &model, &loose));
+    }
+
+    #[test]
+    fn negative_zero_folds_onto_zero() {
+        let mut a = Hasher64::new();
+        a.write_f64(0.0);
+        let mut b = Hasher64::new();
+        b.write_f64(-0.0);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

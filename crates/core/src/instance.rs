@@ -139,6 +139,19 @@ impl Instance {
         })
     }
 
+    /// The canonical content digest of this instance: identical for any
+    /// relabelling of task indices or reordering of the edge list, and
+    /// different whenever a weight, edge, processor assignment, execution
+    /// order, platform size, or the deadline changes. See
+    /// [`crate::digest`] for the canonical form; combine with the speed
+    /// model and solver options via
+    /// [`crate::digest::solve_request_digest`] to key a solution cache.
+    pub fn canonical_digest(&self) -> u64 {
+        let mut h = crate::digest::Hasher64::new();
+        crate::digest::write_instance(&mut h, self);
+        h.finish()
+    }
+
     /// Solves BI-CRIT on this instance under `model` — sugar for the
     /// [`crate::bicrit::solve`] dispatcher.
     pub fn solve(

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod bicrit;
+pub mod digest;
 pub mod error;
 pub mod ext;
 pub mod instance;

@@ -1,0 +1,201 @@
+//! Property tests for the canonical cache-key digest
+//! ([`ea_core::digest`]): relabelling task indices or reordering the edge
+//! list never changes the digest, while perturbing any semantic knob —
+//! a weight, the deadline, a model parameter, a solver option — always
+//! does.
+
+use ea_core::bicrit::{BnbBound, SolveOptions};
+use ea_core::digest::solve_request_digest;
+use ea_core::instance::Instance;
+use ea_core::platform::{Mapping, Platform};
+use ea_core::speed::SpeedModel;
+use ea_taskgraph::{generators, Dag, TaskId};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// A random mapped instance: layered DAG, critical-path list scheduling.
+fn random_instance(seed: u64, procs: usize, deadline_mult: f64) -> Instance {
+    let dag = generators::random_layered(3, 3, 0.4, 0.5, 2.5, seed);
+    let inst = Instance::mapped_by_list_scheduling(dag, Platform::new(procs), 2.0, f64::MAX)
+        .expect("mapping succeeds");
+    let d = deadline_mult * inst.makespan_at_uniform_speed(2.0);
+    inst.with_deadline(d).expect("positive deadline")
+}
+
+/// Rebuilds `inst` with task indices permuted by `perm` (new index `i`
+/// holds old task `perm[i]`) and the edge insertion order shuffled —
+/// the same semantic instance under a different labelling.
+fn permuted_instance(inst: &Instance, perm: &[TaskId], shuffle_seed: u64) -> Instance {
+    let n = inst.n_tasks();
+    assert_eq!(perm.len(), n);
+    // inv[old] = new
+    let mut inv = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old] = new;
+    }
+    let weights: Vec<f64> = perm.iter().map(|&old| inst.dag.weights()[old]).collect();
+    let mut edges: Vec<(TaskId, TaskId)> = inst
+        .dag
+        .edges()
+        .iter()
+        .map(|&(s, d)| (inv[s], inv[d]))
+        .collect();
+    shuffle(&mut edges, shuffle_seed);
+    let dag = Dag::from_parts(weights, edges).expect("permuted DAG is the same DAG");
+    let proc_of: Vec<usize> = perm
+        .iter()
+        .map(|&old| inst.mapping.processor_of(old))
+        .collect();
+    let order: Vec<Vec<TaskId>> = (0..inst.mapping.n_processors())
+        .map(|p| inst.mapping.order_on(p).iter().map(|&t| inv[t]).collect())
+        .collect();
+    let mapping = Mapping::new(proc_of, order).expect("permuted mapping is consistent");
+    Instance::new(dag, inst.platform, mapping, inst.deadline).expect("same semantic instance")
+}
+
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+fn random_permutation(n: usize, seed: u64) -> Vec<TaskId> {
+    let mut perm: Vec<TaskId> = (0..n).collect();
+    shuffle(&mut perm, seed);
+    perm
+}
+
+fn models() -> [SpeedModel; 4] {
+    [
+        SpeedModel::continuous(1.0, 2.0),
+        SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+        SpeedModel::discrete(vec![1.0, 1.5, 2.0]),
+        SpeedModel::incremental(1.0, 2.0, 0.25),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Relabelling task indices (and shuffling edge insertion order)
+    /// leaves the canonical digest unchanged, under every model.
+    #[test]
+    fn digest_invariant_under_task_relabelling(
+        seed in 0u64..500,
+        perm_seed in 0u64..1000,
+        procs in 1usize..4,
+    ) {
+        let inst = random_instance(seed, procs, 1.5);
+        let perm = random_permutation(inst.n_tasks(), perm_seed);
+        let relabelled = permuted_instance(&inst, &perm, perm_seed.wrapping_add(1));
+        prop_assert_eq!(inst.canonical_digest(), relabelled.canonical_digest());
+        let opts = SolveOptions::default();
+        for model in &models() {
+            prop_assert_eq!(
+                solve_request_digest(&inst, model, &opts),
+                solve_request_digest(&relabelled, model, &opts),
+                "{} digest not relabelling-invariant", model.name()
+            );
+        }
+    }
+
+    /// Perturbing any task weight changes the digest.
+    #[test]
+    fn digest_sensitive_to_weights(
+        seed in 0u64..500,
+        task_pick in 0usize..64,
+        bump in 0.01f64..0.5,
+    ) {
+        let inst = random_instance(seed, 2, 1.5);
+        let t = task_pick % inst.n_tasks();
+        let mut weights = inst.dag.weights().to_vec();
+        weights[t] += bump;
+        let dag = Dag::from_parts(weights, inst.dag.edges().iter().copied())
+            .expect("same structure");
+        let bumped = Instance::new(dag, inst.platform, inst.mapping.clone(), inst.deadline)
+            .expect("valid instance");
+        prop_assert_ne!(inst.canonical_digest(), bumped.canonical_digest());
+    }
+
+    /// Perturbing the deadline changes the digest.
+    #[test]
+    fn digest_sensitive_to_deadline(seed in 0u64..500, bump in 0.001f64..0.5) {
+        let inst = random_instance(seed, 2, 1.5);
+        let later = inst.with_deadline(inst.deadline * (1.0 + bump)).expect("valid");
+        prop_assert_ne!(inst.canonical_digest(), later.canonical_digest());
+    }
+
+    /// Perturbing any model knob (fmin, fmax, δ, a mode) changes the
+    /// request digest.
+    #[test]
+    fn digest_sensitive_to_model_knobs(seed in 0u64..200, bump in 0.001f64..0.2) {
+        let inst = random_instance(seed, 2, 1.5);
+        let opts = SolveOptions::default();
+        let d = |m: &SpeedModel| solve_request_digest(&inst, m, &opts);
+
+        let base = SpeedModel::continuous(1.0, 2.0);
+        prop_assert_ne!(d(&base), d(&SpeedModel::continuous(1.0 + bump, 2.0)));
+        prop_assert_ne!(d(&base), d(&SpeedModel::continuous(1.0, 2.0 + bump)));
+
+        let inc = SpeedModel::incremental(1.0, 2.0, 0.25);
+        prop_assert_ne!(d(&inc), d(&SpeedModel::incremental(1.0, 2.0, 0.25 + bump)));
+        prop_assert_ne!(d(&inc), d(&SpeedModel::incremental(1.0 - bump / 2.0, 2.0, 0.25)));
+
+        let disc = SpeedModel::discrete(vec![1.0, 1.5, 2.0]);
+        prop_assert_ne!(d(&disc), d(&SpeedModel::discrete(vec![1.0, 1.5 + bump, 2.0])));
+        prop_assert_ne!(d(&disc), d(&SpeedModel::discrete(vec![1.0, 2.0])));
+
+        let vdd = SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]);
+        prop_assert_ne!(d(&vdd), d(&SpeedModel::vdd_hopping(vec![1.0, 1.5 + bump, 2.0])));
+    }
+
+    /// Mode *order* does not matter (constructors normalise; the digest
+    /// re-sorts), but the set does.
+    #[test]
+    fn digest_invariant_under_mode_order(seed in 0u64..200) {
+        let inst = random_instance(seed, 2, 1.5);
+        let opts = SolveOptions::default();
+        let a = SpeedModel::discrete(vec![1.0, 1.5, 2.0]);
+        let b = SpeedModel::discrete(vec![2.0, 1.0, 1.5]);
+        prop_assert_eq!(
+            solve_request_digest(&inst, &a, &opts),
+            solve_request_digest(&inst, &b, &opts)
+        );
+    }
+
+    /// Perturbing any `SolveOptions` knob changes the request digest.
+    #[test]
+    fn digest_sensitive_to_solve_options(seed in 0u64..200, k in 2usize..500) {
+        let inst = random_instance(seed, 2, 1.5);
+        let model = SpeedModel::discrete(vec![1.0, 1.5, 2.0]);
+        let base = solve_request_digest(&inst, &model, &SolveOptions::default());
+
+        let bound = SolveOptions::default().with_bnb_bound(BnbBound::Simple);
+        prop_assert_ne!(base, solve_request_digest(&inst, &model, &bound));
+
+        if k != 50 {
+            let acc = SolveOptions::default().with_accuracy_k(k);
+            prop_assert_ne!(base, solve_request_digest(&inst, &model, &acc));
+        }
+
+        let mut barrier = SolveOptions::default();
+        barrier.barrier.tol *= 2.0;
+        prop_assert_ne!(base, solve_request_digest(&inst, &model, &barrier));
+
+        let mut newton = SolveOptions::default();
+        newton.barrier.max_newton += 1;
+        prop_assert_ne!(base, solve_request_digest(&inst, &model, &newton));
+    }
+}
+
+/// Deterministic non-property check: the digest is stable across calls
+/// and across structurally equal clones.
+#[test]
+fn digest_is_stable_across_clones() {
+    let inst = random_instance(11, 2, 1.5);
+    let clone = inst.clone();
+    assert_eq!(inst.canonical_digest(), clone.canonical_digest());
+    assert_eq!(inst.canonical_digest(), inst.canonical_digest());
+}

@@ -39,4 +39,4 @@ mod scenario;
 
 pub use batch::{run_batch, BatchOptions, BatchReport, FaultStats, ScenarioResult};
 pub use front::{run_front, FrontBatchOptions, FrontReport, FrontResult, FrontScenario};
-pub use scenario::{DagSpec, Scenario};
+pub use scenario::{build_speed_model, DagSpec, Scenario};

@@ -131,6 +131,58 @@ impl FromStr for DagSpec {
     }
 }
 
+/// Builds the [`SpeedModel`] a model-name string denotes — the one place
+/// a model *name* is interpreted, shared by the `easched` CLI
+/// (`--model`/`--models`) and the `ea-service` wire protocol so the two
+/// surfaces cannot drift apart.
+///
+/// `continuous` and `incremental` consume the `fmin`/`fmax` (and
+/// `delta`) knobs; `vdd` (alias `vdd-hopping`) and `discrete` consume
+/// `modes`. Knobs irrelevant to the named model are ignored.
+pub fn build_speed_model(
+    name: &str,
+    fmin: f64,
+    fmax: f64,
+    delta: f64,
+    modes: &[f64],
+) -> Result<SpeedModel, String> {
+    let positive = |v: f64, what: &str| -> Result<(), String> {
+        if v.is_finite() && v > 0.0 {
+            Ok(())
+        } else {
+            Err(format!("{what} must be finite and > 0, got {v}"))
+        }
+    };
+    let range = || -> Result<(), String> {
+        positive(fmin, "fmin")?;
+        positive(fmax, "fmax")?;
+        if fmin > fmax {
+            return Err(format!("fmin {fmin} exceeds fmax {fmax}"));
+        }
+        Ok(())
+    };
+    let checked_modes = || -> Result<Vec<f64>, String> {
+        if modes.is_empty() || modes.iter().any(|&m| !(m.is_finite() && m > 0.0)) {
+            return Err("modes must be a non-empty list of positive finite speeds".into());
+        }
+        Ok(modes.to_vec())
+    };
+    match name {
+        "continuous" => {
+            range()?;
+            Ok(SpeedModel::continuous(fmin, fmax))
+        }
+        "vdd" | "vdd-hopping" => Ok(SpeedModel::vdd_hopping(checked_modes()?)),
+        "discrete" => Ok(SpeedModel::discrete(checked_modes()?)),
+        "incremental" => {
+            range()?;
+            positive(delta, "delta")?;
+            Ok(SpeedModel::incremental(fmin, fmax, delta))
+        }
+        other => Err(format!("unknown model {other}")),
+    }
+}
+
 /// One point of a scenario grid: which DAG family, under which speed
 /// model, how tight a deadline, and which random seed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -1,0 +1,359 @@
+//! Sharded, single-flight LRU solution cache.
+//!
+//! The cache is keyed by the canonical request digest
+//! ([`ea_core::digest::solve_request_digest`]). Two properties matter for
+//! a concurrent serving layer:
+//!
+//! * **Sharding** — the key space is split across independent mutexes by
+//!   hash prefix (the digest's high bits), so concurrent clients touching
+//!   different keys never serialise on one lock.
+//! * **Single flight** — when several clients ask for the *same* key at
+//!   once, exactly one computes; the rest block on the shard's condvar and
+//!   receive the finished value. This is what makes "one underlying solve
+//!   per canonical digest" hold under load, not just on a warm cache.
+//!
+//! Eviction is LRU per shard over *ready* entries (in-flight computations
+//! are never evicted), with capacities split evenly across shards.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Point-in-time counters of a [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Requests answered from a ready entry on first look.
+    pub hits: u64,
+    /// Requests that initiated a compute (== distinct digests solved,
+    /// minus any recomputes forced by eviction).
+    pub misses: u64,
+    /// Requests that arrived while the same key was being computed and
+    /// waited for it instead of recomputing.
+    pub coalesced: u64,
+    /// Ready entries discarded to stay within capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Requests served without running a compute (`hits + coalesced`).
+    pub fn served_without_compute(&self) -> u64 {
+        self.hits + self.coalesced
+    }
+}
+
+enum Entry<T> {
+    /// Finished value plus its last-use tick for LRU eviction.
+    Ready { value: T, last_used: u64 },
+    /// A compute is in flight on some worker; waiters block on the shard
+    /// condvar until it lands.
+    Pending,
+}
+
+struct ShardState<T> {
+    map: HashMap<u64, Entry<T>>,
+    /// Monotone use counter driving LRU.
+    tick: u64,
+}
+
+struct Shard<T> {
+    state: Mutex<ShardState<T>>,
+    cv: Condvar,
+}
+
+/// Removes the `Pending` marker if the computing closure unwinds, so
+/// waiters error out instead of blocking forever.
+struct PendingGuard<'a, T> {
+    shard: &'a Shard<T>,
+    key: u64,
+    armed: bool,
+}
+
+impl<T> Drop for PendingGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut st = self.shard.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.map.remove(&self.key);
+            self.shard.cv.notify_all();
+        }
+    }
+}
+
+/// A sharded single-flight LRU cache from `u64` digests to clonable
+/// values.
+///
+/// ```
+/// use ea_service::cache::ShardedCache;
+///
+/// let cache: ShardedCache<String> = ShardedCache::new(8, 64);
+/// let (v, cached) = cache.get_or_compute(42, || "answer".to_string());
+/// assert_eq!((v.as_str(), cached), ("answer", false));
+/// let (v, cached) = cache.get_or_compute(42, || unreachable!("cached"));
+/// assert_eq!((v.as_str(), cached), ("answer", true));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct ShardedCache<T> {
+    shards: Vec<Shard<T>>,
+    /// log2 of the shard count — the shard index is the digest's top bits.
+    shard_bits: u32,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<T: Clone> ShardedCache<T> {
+    /// A cache with `shards` shards (rounded up to a power of two, min 1)
+    /// holding at most `capacity` ready entries in total (split evenly,
+    /// at least one per shard).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        map: HashMap::new(),
+                        tick: 0,
+                    }),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            shard_bits: shards.trailing_zeros(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: u64) -> &Shard<T> {
+        // Hash-prefix sharding: the digest's high bits pick the shard
+        // (`>> 64` is not a valid shift, so a single shard short-circuits).
+        let idx = if self.shard_bits == 0 {
+            0
+        } else {
+            (key >> (64 - self.shard_bits)) as usize
+        };
+        &self.shards[idx]
+    }
+
+    /// Returns the cached value for `key`, or computes it with `f` —
+    /// exactly once per key even under concurrent callers. The second
+    /// element is `true` when the value came from the cache (either a
+    /// ready entry or a coalesced in-flight compute).
+    pub fn get_or_compute<F: FnOnce() -> T>(&self, key: u64, f: F) -> (T, bool) {
+        let shard = self.shard_of(key);
+        let mut waited = false;
+        let mut st = shard.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match st.map.get(&key) {
+                Some(Entry::Ready { .. }) => {
+                    st.tick += 1;
+                    let tick = st.tick;
+                    let Some(Entry::Ready { value, last_used }) = st.map.get_mut(&key) else {
+                        unreachable!("entry just observed under the same lock");
+                    };
+                    *last_used = tick;
+                    let v = value.clone();
+                    if waited {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return (v, true);
+                }
+                Some(Entry::Pending) => {
+                    waited = true;
+                    st = shard.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                None => {
+                    // Either first caller for the key, or the compute we
+                    // waited on unwound — compute it ourselves.
+                    st.map.insert(key, Entry::Pending);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    drop(st);
+
+                    let mut guard = PendingGuard {
+                        shard,
+                        key,
+                        armed: true,
+                    };
+                    let value = f();
+                    guard.armed = false;
+
+                    let mut st = shard.state.lock().unwrap_or_else(|e| e.into_inner());
+                    st.tick += 1;
+                    let tick = st.tick;
+                    st.map.insert(
+                        key,
+                        Entry::Ready {
+                            value: value.clone(),
+                            last_used: tick,
+                        },
+                    );
+                    self.evict_over_capacity(&mut st);
+                    drop(st);
+                    shard.cv.notify_all();
+                    return (value, false);
+                }
+            }
+        }
+    }
+
+    /// Evicts least-recently-used ready entries until the shard is within
+    /// capacity (pending entries don't count and are never evicted).
+    fn evict_over_capacity(&self, st: &mut ShardState<T>) {
+        loop {
+            let ready = st
+                .map
+                .iter()
+                .filter(|(_, e)| matches!(e, Entry::Ready { .. }))
+                .count();
+            if ready <= self.per_shard_capacity {
+                return;
+            }
+            let victim = st
+                .map
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*last_used, *k)),
+                    Entry::Pending => None,
+                })
+                .min()
+                .map(|(_, k)| k);
+            if let Some(k) = victim {
+                st.map.remove(&k);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Ready entries currently held, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.state
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .map
+                    .values()
+                    .filter(|e| matches!(e, Entry::Ready { .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when no ready entry is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn hit_after_miss() {
+        let cache: ShardedCache<u32> = ShardedCache::new(4, 16);
+        let (v, cached) = cache.get_or_compute(1, || 10);
+        assert_eq!((v, cached), (10, false));
+        let (v, cached) = cache.get_or_compute(1, || panic!("must be cached"));
+        assert_eq!((v, cached), (10, true));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.coalesced, s.evictions), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c: ShardedCache<u8> = ShardedCache::new(5, 16);
+        assert_eq!(c.shard_count(), 8);
+        let c: ShardedCache<u8> = ShardedCache::new(0, 16);
+        assert_eq!(c.shard_count(), 1);
+        c.get_or_compute(u64::MAX, || 1); // single shard: shift guard path
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        // One shard, capacity 2: insert a, b; touch a; insert c → b evicted.
+        let cache: ShardedCache<&'static str> = ShardedCache::new(1, 2);
+        cache.get_or_compute(1, || "a");
+        cache.get_or_compute(2, || "b");
+        cache.get_or_compute(1, || unreachable!()); // refresh a
+        cache.get_or_compute(3, || "c");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        let (_, cached) = cache.get_or_compute(1, || "a2");
+        assert!(cached, "a survived");
+        let (_, cached) = cache.get_or_compute(2, || "b2");
+        assert!(!cached, "b was the LRU victim");
+    }
+
+    #[test]
+    fn concurrent_duplicates_compute_once() {
+        let cache: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new(8, 64));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                std::thread::spawn(move || {
+                    for round in 0..50u64 {
+                        let key = round % 5;
+                        let (v, _) = cache.get_or_compute(key, || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            key * 100
+                        });
+                        assert_eq!(v, key * 100);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no panics");
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 5, "one compute per key");
+        let s = cache.stats();
+        assert_eq!(s.misses, 5);
+        assert_eq!(s.hits + s.coalesced + s.misses, 8 * 50);
+    }
+
+    #[test]
+    fn panicked_compute_releases_waiters() {
+        let cache: Arc<ShardedCache<u32>> = Arc::new(ShardedCache::new(1, 4));
+        let c2 = Arc::clone(&cache);
+        let panicker = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_compute(7, || panic!("compute failed"));
+            }));
+        });
+        panicker.join().expect("catch_unwind absorbed the panic");
+        // The pending marker is gone: a later caller computes fresh.
+        let (v, cached) = cache.get_or_compute(7, || 99);
+        assert_eq!((v, cached), (99, false));
+    }
+}

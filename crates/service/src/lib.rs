@@ -1,0 +1,39 @@
+//! # ea-service
+//!
+//! The serving layer: a long-running solve daemon in front of the four
+//! BI-CRIT solvers, turning per-process `easched` invocations into a
+//! concurrent request/response service — the ROADMAP's "heavy traffic"
+//! step beyond the batch and front engines.
+//!
+//! * [`server::serve`] — binds a TCP listener and spawns the daemon: one
+//!   accept thread, a bounded connection queue with backpressure, and a
+//!   fixed worker pool ([`server::ServeOptions`] holds the knobs).
+//! * [`protocol`] — the newline-delimited JSON wire format: `solve`,
+//!   `front`, `stats`, and `shutdown` commands, answered with the
+//!   `Solution`/`ParetoFront` JSON the engine already produces.
+//! * [`cache`] — the sharded, single-flight LRU solution cache, keyed by
+//!   [`ea_core::digest::solve_request_digest`]: semantically identical
+//!   requests (same DAG up to task relabelling, same knobs) are answered
+//!   by exactly one underlying solve, even when they arrive concurrently.
+//!
+//! ```no_run
+//! use ea_service::server::{serve, ServeOptions};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let handle = serve(ServeOptions::default()).expect("binds");
+//! let mut conn = std::net::TcpStream::connect(handle.addr()).expect("connects");
+//! writeln!(conn, r#"{{"cmd":"solve","dag":"chain:10","model":"continuous"}}"#).unwrap();
+//! let mut reply = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut reply).unwrap();
+//! assert!(reply.contains("\"energy\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, ShardedCache};
+pub use protocol::{Request, ServiceStats};
+pub use server::{serve, ServeOptions, ServerHandle};

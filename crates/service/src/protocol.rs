@@ -1,0 +1,352 @@
+//! The newline-delimited JSON wire protocol of the solve daemon.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Four commands exist, selected by `cmd`:
+//!
+//! * `solve` — a single BI-CRIT solve, described exactly like an
+//!   `easched` single-solve invocation (`dag`, `model`, `mult`, `seed`,
+//!   `procs`, plus the model knobs `fmin`/`fmax`/`modes`/`delta`). The
+//!   request is mapped through [`ea_engine::Scenario`] — the same
+//!   request→instance path as the CLI — and answered with the
+//!   [`ea_core::bicrit::Solution`] JSON.
+//! * `front` — traces a whole energy/deadline Pareto front for one
+//!   scenario (`points`, `tol` knobs), answered with the
+//!   [`ea_core::bicrit::pareto::ParetoFront`] JSON.
+//! * `stats` — cache and queue counters, per-model solve counts.
+//! * `shutdown` — stop accepting, drain, exit.
+//!
+//! ```text
+//! → {"cmd":"solve","dag":"chain:10","model":"continuous","mult":1.5,"seed":42}
+//! ← {"status":"ok","cached":false,"digest":"1f0b…","solution":{…}}
+//! → {"cmd":"stats"}
+//! ← {"status":"ok","stats":{"hits":0,"misses":1,…}}
+//! ```
+
+use crate::cache::CacheStats;
+use ea_core::speed::SpeedModel;
+use ea_engine::{DagSpec, FrontScenario, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// Default deadline multiplier when a `solve` request omits `mult`.
+pub const DEFAULT_MULT: f64 = 1.5;
+/// Default processor count when a request omits `procs`.
+pub const DEFAULT_PROCS: usize = 2;
+/// Default front grid size when a `front` request omits `points`.
+pub const DEFAULT_FRONT_POINTS: usize = 9;
+/// Default front refinement tolerance when a `front` request omits `tol`.
+pub const DEFAULT_FRONT_TOL: f64 = 0.02;
+
+/// The wire shape of a request line (all knobs optional but `cmd`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RawRequest {
+    /// `"solve"`, `"front"`, `"stats"`, or `"shutdown"`.
+    pub cmd: String,
+    /// DAG-family spec (`chain:10`, `layered:4x3`, …); default `chain:10`.
+    pub dag: Option<String>,
+    /// Model name (`continuous`, `vdd`, `discrete`, `incremental`);
+    /// default `continuous`.
+    pub model: Option<String>,
+    /// Mode list for `vdd`/`discrete`; default `[1, 1.5, 2]`.
+    pub modes: Option<Vec<f64>>,
+    /// Range floor for `continuous`/`incremental`; default 1.
+    pub fmin: Option<f64>,
+    /// Range ceiling for `continuous`/`incremental`; default 2.
+    pub fmax: Option<f64>,
+    /// Grid spacing for `incremental`; default 0.25.
+    pub delta: Option<f64>,
+    /// Deadline multiplier over the all-`f_max` makespan (`solve` only).
+    pub mult: Option<f64>,
+    /// DAG weight seed; default 42.
+    pub seed: Option<u64>,
+    /// Platform processors; default 2.
+    pub procs: Option<usize>,
+    /// Initial front grid size (`front` only).
+    pub points: Option<usize>,
+    /// Front energy tolerance (`front` only).
+    pub tol: Option<f64>,
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// One BI-CRIT solve.
+    Solve {
+        /// The scenario to instantiate and solve.
+        scenario: Scenario,
+        /// Platform processors.
+        procs: usize,
+    },
+    /// One Pareto-front trace.
+    Front {
+        /// The front scenario to instantiate and trace.
+        scenario: FrontScenario,
+        /// Platform processors.
+        procs: usize,
+        /// Initial deadline grid size (≥ 2).
+        points: usize,
+        /// Energy tolerance driving adaptive refinement.
+        tol: f64,
+    },
+    /// Service counters.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+fn positive(v: f64, what: &str) -> Result<f64, String> {
+    if v.is_finite() && v > 0.0 {
+        Ok(v)
+    } else {
+        Err(format!("{what} must be finite and > 0, got {v}"))
+    }
+}
+
+/// Builds the [`SpeedModel`] a request denotes: defaults filled in, then
+/// the shared name→model mapping ([`ea_engine::build_speed_model`]) the
+/// CLI uses too.
+fn build_model(raw: &RawRequest) -> Result<SpeedModel, String> {
+    let modes = raw.modes.clone().unwrap_or_else(|| vec![1.0, 1.5, 2.0]);
+    ea_engine::build_speed_model(
+        raw.model.as_deref().unwrap_or("continuous"),
+        raw.fmin.unwrap_or(1.0),
+        raw.fmax.unwrap_or(2.0),
+        raw.delta.unwrap_or(0.25),
+        &modes,
+    )
+}
+
+/// Parses one request line. Returns a client-facing error message on
+/// malformed JSON, an unknown command, or invalid knobs.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let raw: RawRequest =
+        serde_json::from_str(line.trim()).map_err(|e| format!("bad request JSON: {e}"))?;
+    match raw.cmd.as_str() {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "solve" => {
+            let dag = DagSpec::parse(raw.dag.as_deref().unwrap_or("chain:10"))?;
+            let model = build_model(&raw)?;
+            // Foreign knobs are rejected, not ignored — symmetric with
+            // `front` rejecting `mult`.
+            if raw.points.is_some() || raw.tol.is_some() {
+                return Err("points/tol apply to front requests only".into());
+            }
+            let mult = positive(raw.mult.unwrap_or(DEFAULT_MULT), "mult")?;
+            let procs = raw.procs.unwrap_or(DEFAULT_PROCS);
+            if procs == 0 {
+                return Err("procs must be ≥ 1".into());
+            }
+            Ok(Request::Solve {
+                scenario: Scenario {
+                    dag,
+                    model,
+                    deadline_mult: mult,
+                    seed: raw.seed.unwrap_or(42),
+                },
+                procs,
+            })
+        }
+        "front" => {
+            let dag = DagSpec::parse(raw.dag.as_deref().unwrap_or("chain:10"))?;
+            let model = build_model(&raw)?;
+            let procs = raw.procs.unwrap_or(DEFAULT_PROCS);
+            if procs == 0 {
+                return Err("procs must be ≥ 1".into());
+            }
+            if raw.mult.is_some() {
+                return Err("mult applies to solve requests only (a front sweeps it)".into());
+            }
+            let points = raw.points.unwrap_or(DEFAULT_FRONT_POINTS);
+            if points < 2 {
+                return Err("points must be ≥ 2".into());
+            }
+            let tol = positive(raw.tol.unwrap_or(DEFAULT_FRONT_TOL), "tol")?;
+            Ok(Request::Front {
+                scenario: FrontScenario {
+                    dag,
+                    model,
+                    seed: raw.seed.unwrap_or(42),
+                },
+                procs,
+                points,
+                tol,
+            })
+        }
+        "" => Err("missing cmd (expected solve|front|stats|shutdown)".into()),
+        other => Err(format!(
+            "unknown cmd `{other}` (expected solve|front|stats|shutdown)"
+        )),
+    }
+}
+
+/// Service-wide counters returned by the `stats` command.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Cache counters (hits, misses, coalesced, evictions).
+    pub cache: Option<CacheStats>,
+    /// Ready entries currently cached.
+    pub cached_entries: u64,
+    /// Fresh connections currently queued for a worker (the population
+    /// bounded by the queue capacity).
+    pub queue_depth: u64,
+    /// Idle keep-alive connections parked between requests (not counted
+    /// against the queue capacity).
+    pub parked_connections: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Connections turned away because the queue was full.
+    pub rejected: u64,
+    /// Request lines answered (any command).
+    pub requests: u64,
+    /// Underlying CONTINUOUS solves actually run (cache misses only).
+    pub solves_continuous: u64,
+    /// Underlying DISCRETE solves actually run.
+    pub solves_discrete: u64,
+    /// Underlying VDD-HOPPING solves actually run.
+    pub solves_vdd_hopping: u64,
+    /// Underlying INCREMENTAL solves actually run.
+    pub solves_incremental: u64,
+    /// Underlying front traces actually run.
+    pub front_traces: u64,
+    /// True once a shutdown request has been accepted.
+    pub shutting_down: bool,
+    /// Worker threads in the pool.
+    pub workers: u64,
+}
+
+impl ServiceStats {
+    /// Total underlying solves across the four models (front traces not
+    /// included).
+    pub fn total_solves(&self) -> u64 {
+        self.solves_continuous
+            + self.solves_discrete
+            + self.solves_vdd_hopping
+            + self.solves_incremental
+    }
+}
+
+/// Renders the error response for one request line.
+pub fn error_line(msg: &str) -> String {
+    #[derive(Serialize)]
+    struct Err<'a> {
+        status: &'a str,
+        error: &'a str,
+    }
+    serde_json::to_string(&Err {
+        status: "error",
+        error: msg,
+    })
+    .expect("error serialises")
+}
+
+/// Renders a successful payload under `key`: `{"status":"ok", key: …}`.
+/// Used by `stats` and `shutdown`, whose envelopes carry no cache fields.
+pub fn ok_line<T: Serialize>(key: &str, payload: &T) -> String {
+    let entries = vec![
+        ("status".to_string(), serde::Content::Str("ok".into())),
+        (key.to_string(), payload.to_content()),
+    ];
+    serde_json::to_string(&serde::Content::Map(entries)).expect("response serialises")
+}
+
+/// Renders a cache-answered payload under `key` with the full envelope:
+/// `{"status":"ok","cached":…,"digest":"…", key: …}`.
+pub fn cached_line<T: Serialize>(key: &str, digest: u64, cached: bool, payload: &T) -> String {
+    let entries = vec![
+        ("status".to_string(), serde::Content::Str("ok".into())),
+        ("cached".to_string(), serde::Content::Bool(cached)),
+        (
+            "digest".to_string(),
+            serde::Content::Str(format!("{digest:016x}")),
+        ),
+        (key.to_string(), payload.to_content()),
+    ];
+    serde_json::to_string(&serde::Content::Map(entries)).expect("response serialises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_solve() {
+        let req = parse_request(r#"{"cmd":"solve"}"#).expect("valid");
+        let Request::Solve { scenario, procs } = req else {
+            panic!("not a solve")
+        };
+        assert_eq!(scenario.dag.to_string(), "chain:10");
+        assert_eq!(scenario.model.name(), "continuous");
+        assert_eq!(scenario.seed, 42);
+        assert_eq!(procs, DEFAULT_PROCS);
+    }
+
+    #[test]
+    fn parses_full_solve() {
+        let req = parse_request(
+            r#"{"cmd":"solve","dag":"layered:3x2","model":"vdd","modes":[1,2],"mult":1.3,"seed":7,"procs":3}"#,
+        )
+        .expect("valid");
+        let Request::Solve { scenario, procs } = req else {
+            panic!("not a solve")
+        };
+        assert_eq!(scenario.dag.to_string(), "layered:3x2");
+        assert_eq!(scenario.model, SpeedModel::vdd_hopping(vec![1.0, 2.0]));
+        assert_eq!(scenario.deadline_mult, 1.3);
+        assert_eq!((scenario.seed, procs), (7, 3));
+    }
+
+    #[test]
+    fn parses_front_and_controls() {
+        let req = parse_request(r#"{"cmd":"front","model":"discrete","points":5,"tol":0.05}"#)
+            .expect("valid");
+        let Request::Front { points, tol, .. } = req else {
+            panic!("not a front")
+        };
+        assert_eq!(points, 5);
+        assert_eq!(tol, 0.05);
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("not json", "bad request JSON"),
+            (r#"{"cmd":"dance"}"#, "unknown cmd"),
+            (r#"{"cmd":"solve","dag":"ring:5"}"#, "unknown dag kind"),
+            (r#"{"cmd":"solve","model":"warp"}"#, "unknown model"),
+            (r#"{"cmd":"solve","mult":-1}"#, "mult"),
+            (r#"{"cmd":"solve","procs":0}"#, "procs"),
+            (r#"{"cmd":"solve","model":"vdd","modes":[]}"#, "modes"),
+            (r#"{"cmd":"front","points":1}"#, "points"),
+            (r#"{"cmd":"front","mult":1.5}"#, "mult applies to solve"),
+            (r#"{"cmd":"solve","points":5}"#, "points/tol apply to front"),
+            (r#"{"cmd":"solve","tol":0.1}"#, "points/tol apply to front"),
+            (r#"{"cmd":"front","tol":0}"#, "tol"),
+            (r#"{}"#, "missing field `cmd`"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains(needle), "`{line}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let line = cached_line("solution", 0xabcd, true, &42u64);
+        assert!(!line.contains('\n'));
+        assert!(line.contains(r#""status":"ok""#), "{line}");
+        assert!(line.contains(r#""cached":true"#), "{line}");
+        assert!(line.contains("000000000000abcd"), "{line}");
+        let plain = ok_line("stats", &7u64);
+        assert!(plain.contains(r#""stats":7"#), "{plain}");
+        assert!(!plain.contains("cached"), "{plain}");
+        let err = error_line("nope");
+        assert!(err.contains(r#""error":"nope""#), "{err}");
+    }
+}

@@ -1,0 +1,808 @@
+//! The solve daemon: TCP accept loop, bounded connection queue, fixed
+//! worker pool, sharded solution cache, graceful shutdown.
+//!
+//! Threading model (std::net + std::thread only):
+//!
+//! * one **accept thread** polls a non-blocking listener and pushes
+//!   accepted connections onto a bounded queue — when the queue is full
+//!   the client gets a one-line `busy` error instead of unbounded memory
+//!   growth (backpressure by rejection, not by silent buffering);
+//! * `workers` **worker threads** pop connections and serve them
+//!   request-line by request-line; every solve goes through the shared
+//!   [`ShardedCache`] keyed by
+//!   [`ea_core::digest::solve_request_digest`], so identical requests —
+//!   even concurrent ones — run exactly one underlying solve;
+//! * a `shutdown` request flips the shutdown flag: the accept thread
+//!   stops accepting, workers drain the queue (every accepted connection
+//!   is still served), idle keep-alive connections are closed at the
+//!   next read-timeout tick, and [`ServerHandle::join`] returns.
+
+use crate::cache::ShardedCache;
+use crate::protocol::{cached_line, error_line, ok_line, parse_request, Request, ServiceStats};
+use ea_core::bicrit::pareto::{trace_front, FrontOptions, ParetoFront};
+use ea_core::bicrit::{self, Solution, SolveOptions};
+use ea_core::digest::{solve_request_digest, Hasher64};
+use ea_core::speed::SpeedModel;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Knobs of a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Interface to bind (loopback by default — the daemon speaks an
+    /// unauthenticated protocol).
+    pub host: String,
+    /// TCP port; 0 picks an ephemeral port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Worker threads serving connections (≥ 1).
+    pub workers: usize,
+    /// Bounded connection-queue capacity; a full queue answers `busy`.
+    pub queue_cap: usize,
+    /// Total ready entries the solution cache may hold.
+    pub cache_capacity: usize,
+    /// Cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Solver options applied to every solve (part of the cache key).
+    pub solve: SolveOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            host: "127.0.0.1".into(),
+            port: 0,
+            workers: 4,
+            queue_cap: 64,
+            cache_capacity: 1024,
+            cache_shards: 16,
+            solve: SolveOptions::default(),
+        }
+    }
+}
+
+/// What the cache stores per digest: the solve (or trace) outcome.
+/// Errors are cached too — an infeasible deadline is as deterministic as
+/// a feasible solve, and recomputing it per duplicate would defeat the
+/// single-flight guarantee.
+#[derive(Debug)]
+enum Outcome {
+    Solution(Solution),
+    Front(ParetoFront),
+    Error(String),
+}
+
+struct Counters {
+    connections: AtomicU64,
+    rejected: AtomicU64,
+    requests: AtomicU64,
+    solves_continuous: AtomicU64,
+    solves_discrete: AtomicU64,
+    solves_vdd_hopping: AtomicU64,
+    solves_incremental: AtomicU64,
+    front_traces: AtomicU64,
+}
+
+/// The worker-pool connection queue, in two tiers: `fresh` connections
+/// from the accept loop are bounded by `queue_cap` (the backpressure
+/// limit on *pending* work), while `parked` holds idle keep-alive
+/// connections rotated out by workers — those were already accepted, so
+/// they must not eat capacity and cause spurious `busy` rejections.
+#[derive(Default)]
+struct ConnQueue {
+    fresh: VecDeque<TcpStream>,
+    parked: VecDeque<TcpStream>,
+}
+
+impl ConnQueue {
+    /// Fresh work first, then rotated keep-alive connections.
+    fn pop(&mut self) -> Option<TcpStream> {
+        self.fresh.pop_front().or_else(|| self.parked.pop_front())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.fresh.is_empty() && self.parked.is_empty()
+    }
+}
+
+struct Shared {
+    cache: ShardedCache<Arc<Outcome>>,
+    queue: Mutex<ConnQueue>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+    opts: ServeOptions,
+}
+
+impl Shared {
+    fn count_solve(&self, model: &SpeedModel) {
+        let c = match model {
+            SpeedModel::Continuous { .. } => &self.counters.solves_continuous,
+            SpeedModel::Discrete { .. } => &self.counters.solves_discrete,
+            SpeedModel::VddHopping { .. } => &self.counters.solves_vdd_hopping,
+            SpeedModel::Incremental { .. } => &self.counters.solves_incremental,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let (queue_depth, parked) = {
+            let q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            (q.fresh.len() as u64, q.parked.len() as u64)
+        };
+        ServiceStats {
+            cache: Some(self.cache.stats()),
+            cached_entries: self.cache.len() as u64,
+            queue_depth,
+            parked_connections: parked,
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            solves_continuous: self.counters.solves_continuous.load(Ordering::Relaxed),
+            solves_discrete: self.counters.solves_discrete.load(Ordering::Relaxed),
+            solves_vdd_hopping: self.counters.solves_vdd_hopping.load(Ordering::Relaxed),
+            solves_incremental: self.counters.solves_incremental.load(Ordering::Relaxed),
+            front_traces: self.counters.front_traces.load(Ordering::Relaxed),
+            shutting_down: self.shutdown.load(Ordering::SeqCst),
+            workers: self.opts.workers as u64,
+        }
+    }
+}
+
+/// A running daemon: its bound address and the threads to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown programmatically (same effect as a `shutdown`
+    /// request line).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Point-in-time service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Blocks until the accept loop and every worker have exited (i.e.
+    /// shutdown was requested and the queue drained).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds the listener and spawns the accept loop plus the worker pool.
+/// Returns immediately; the daemon runs until a `shutdown` request (or
+/// [`ServerHandle::shutdown`]) followed by [`ServerHandle::join`].
+pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    if opts.workers == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "workers must be ≥ 1",
+        ));
+    }
+    if opts.queue_cap == 0 {
+        // A zero-capacity queue would answer `busy` to every connection —
+        // including shutdown requests — leaving the daemon unstoppable
+        // over TCP.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "queue_cap must be ≥ 1",
+        ));
+    }
+    if opts.cache_capacity == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "cache_capacity must be ≥ 1",
+        ));
+    }
+    let listener = TcpListener::bind((opts.host.as_str(), opts.port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        cache: ShardedCache::new(opts.cache_shards, opts.cache_capacity),
+        queue: Mutex::new(ConnQueue::default()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        counters: Counters {
+            connections: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            solves_continuous: AtomicU64::new(0),
+            solves_discrete: AtomicU64::new(0),
+            solves_vdd_hopping: AtomicU64::new(0),
+            solves_incremental: AtomicU64::new(0),
+            front_traces: AtomicU64::new(0),
+        },
+        opts: opts.clone(),
+    });
+
+    let mut threads = Vec::with_capacity(opts.workers + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("ea-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?,
+        );
+    }
+    for w in 0..opts.workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ea-worker-{w}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if q.fresh.len() >= shared.opts.queue_cap {
+                    drop(q);
+                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        error_line("server busy: connection queue full, retry later")
+                    );
+                } else {
+                    q.fresh.push_back(stream);
+                    drop(q);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Wake every worker so they can observe the shutdown flag.
+    shared.queue_cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(c) = q.pop() {
+                    break Some(c);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        match conn {
+            Some(stream) => {
+                if let Some(idle) = serve_connection(stream, shared) {
+                    // The connection went idle while others were waiting:
+                    // park it so one slow client can never starve queued
+                    // work (or a pending shutdown command). Parked
+                    // connections don't count against `queue_cap`.
+                    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    q.parked.push_back(idle);
+                    drop(q);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            None => return, // shutting down and the queue is drained
+        }
+    }
+}
+
+/// What one [`read_line_capped`] call produced.
+enum LineEvent {
+    /// A complete line (or the unterminated final line before EOF) is in
+    /// the buffer.
+    Line,
+    /// Clean EOF with nothing pending.
+    Eof,
+    /// Read timeout with no (or only partial) data — check flags, retry.
+    Idle,
+    /// The line exceeded the cap; the connection should be closed.
+    TooLong,
+}
+
+/// Reads towards the next `\n` into `line`, enforcing `cap` on every
+/// buffered chunk — unlike `BufRead::read_line`, a client streaming
+/// newline-free bytes at full speed is cut off at `cap`, not buffered
+/// until memory runs out. Partial data survives in `line` across `Idle`
+/// returns.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    cap: usize,
+) -> std::io::Result<LineEvent> {
+    loop {
+        let (consumed, complete) = {
+            let buf = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(LineEvent::Idle)
+                }
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                // EOF. Surface a pending unterminated line first; the
+                // next call reports the EOF itself.
+                return Ok(if line.is_empty() {
+                    LineEvent::Eof
+                } else {
+                    LineEvent::Line
+                });
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&buf[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > cap {
+            return Ok(LineEvent::TooLong);
+        }
+        if complete {
+            return Ok(LineEvent::Line);
+        }
+    }
+}
+
+/// Serves one connection until EOF, an I/O error, or (once shutdown has
+/// been requested) the next idle read-timeout tick. Requests already
+/// received are always answered — shutdown never drops an accepted
+/// request, it only stops waiting for new ones.
+///
+/// Returns `Some(stream)` when the connection is idle but healthy and
+/// other connections are queued — the caller parks it (cooperative
+/// round-robin between keep-alive clients and waiting work).
+fn serve_connection(stream: TcpStream, shared: &Shared) -> Option<TcpStream> {
+    /// Hard cap on one request line — a client streaming bytes with no
+    /// newline must not grow the buffer without bound.
+    const MAX_LINE_BYTES: usize = 1 << 20;
+    /// Idle ticks (at the 100ms read timeout) a *partial* line may keep a
+    /// connection open once shutdown has been requested, before the
+    /// daemon gives up on the straggler and closes it.
+    const SHUTDOWN_GRACE_TICKS: u32 = 20;
+
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return None,
+    };
+    let mut reader = BufReader::new(stream);
+    // One persistent line buffer: a read timeout can land mid-line, with
+    // the partial bytes already appended — they must survive until the
+    // terminating newline arrives on a later read.
+    let mut line: Vec<u8> = Vec::new();
+    let mut stalled_ticks: u32 = 0;
+    // Yield the connection back to the pool when other connections wait
+    // and no bytes of a next request are already with this reader —
+    // round-robin between keep-alive clients and queued work.
+    let yieldable = |line: &[u8], reader: &BufReader<TcpStream>, shared: &Shared| {
+        line.is_empty()
+            && reader.buffer().is_empty()
+            && !shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+    };
+    loop {
+        match read_line_capped(&mut reader, &mut line, MAX_LINE_BYTES) {
+            Ok(LineEvent::Eof) => return None, // client closed
+            Ok(LineEvent::TooLong) => {
+                let _ = writeln!(writer, "{}", error_line("request line exceeds 1 MiB"));
+                return None;
+            }
+            Ok(LineEvent::Line) => {
+                stalled_ticks = 0;
+                let text = String::from_utf8_lossy(&line).into_owned();
+                if !text.trim().is_empty() {
+                    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    let reply = handle_line(&text, shared);
+                    if writeln!(writer, "{reply}")
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        return None;
+                    }
+                }
+                line.clear();
+                // A continuously-active client must not monopolise its
+                // worker: rotate after each answered request when other
+                // connections are waiting (a pipelined burst stays — its
+                // next request is already in the reader buffer).
+                if yieldable(&line, &reader, shared) {
+                    return Some(reader.into_inner());
+                }
+            }
+            Ok(LineEvent::Idle) => {
+                // Idle tick. Once shutdown is requested: close idle
+                // keep-alive connections immediately, and give a partial
+                // line a bounded grace period instead of letting one
+                // stalled client block the daemon's exit forever.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    if line.is_empty() {
+                        return None;
+                    }
+                    stalled_ticks += 1;
+                    if stalled_ticks > SHUTDOWN_GRACE_TICKS {
+                        return None;
+                    }
+                }
+                if yieldable(&line, &reader, shared) {
+                    return Some(reader.into_inner());
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn handle_line(line: &str, shared: &Shared) -> String {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return error_line(&e),
+    };
+    match request {
+        Request::Stats => ok_line("stats", &shared.stats()),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            ok_line("shutting_down", &true)
+        }
+        Request::Solve { scenario, procs } => {
+            let inst = match scenario.instantiate(procs) {
+                Ok(i) => i,
+                Err(e) => return error_line(&e.to_string()),
+            };
+            let digest = solve_request_digest(&inst, &scenario.model, &shared.opts.solve);
+            let (outcome, cached) = shared.cache.get_or_compute(digest, || {
+                shared.count_solve(&scenario.model);
+                match bicrit::solve(&inst, &scenario.model, &shared.opts.solve) {
+                    Ok(sol) => Arc::new(Outcome::Solution(sol)),
+                    Err(e) => Arc::new(Outcome::Error(e.to_string())),
+                }
+            });
+            match &*outcome {
+                Outcome::Solution(sol) => cached_line("solution", digest, cached, sol),
+                Outcome::Error(e) => error_line(e),
+                Outcome::Front(_) => error_line("internal: digest collided across request kinds"),
+            }
+        }
+        Request::Front {
+            scenario,
+            procs,
+            points,
+            tol,
+        } => {
+            let inst = match scenario.instantiate(procs) {
+                Ok(i) => i,
+                Err(e) => return error_line(&e.to_string()),
+            };
+            // The front digest extends the solve digest with the request
+            // kind and the front knobs, so a front and a solve over the
+            // same instance can never alias.
+            let mut h = Hasher64::new();
+            h.write_str("front-request-v1");
+            h.write_u64(solve_request_digest(
+                &inst,
+                &scenario.model,
+                &shared.opts.solve,
+            ));
+            h.write_usize(points);
+            h.write_f64(tol);
+            let digest = h.finish();
+            let front_opts = FrontOptions::default()
+                .with_initial_points(points)
+                .with_max_points(points.saturating_mul(2))
+                .with_energy_tol(tol);
+            let (outcome, cached) = shared.cache.get_or_compute(digest, || {
+                shared.counters.front_traces.fetch_add(1, Ordering::Relaxed);
+                match trace_front(&inst, &scenario.model, &front_opts) {
+                    Ok(front) => Arc::new(Outcome::Front(front)),
+                    Err(e) => Arc::new(Outcome::Error(e.to_string())),
+                }
+            });
+            match &*outcome {
+                Outcome::Front(front) => cached_line("front", digest, cached, front),
+                Outcome::Error(e) => error_line(e),
+                Outcome::Solution(_) => {
+                    error_line("internal: digest collided across request kinds")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn connect(handle: &ServerHandle) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(handle.addr()).expect("connects");
+        let reader = BufReader::new(stream.try_clone().expect("clones"));
+        (reader, stream)
+    }
+
+    fn roundtrip(
+        reader: &mut BufReader<TcpStream>,
+        writer: &mut TcpStream,
+        request: &str,
+    ) -> String {
+        writeln!(writer, "{request}").expect("writes");
+        writer.flush().expect("flushes");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads");
+        line
+    }
+
+    fn small_opts() -> ServeOptions {
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        }
+    }
+
+    #[test]
+    fn solve_round_trip_and_cache_flag() {
+        let handle = serve(small_opts()).expect("binds");
+        let (mut r, mut w) = connect(&handle);
+        let req = r#"{"cmd":"solve","dag":"chain:5","model":"continuous","mult":1.5,"seed":1}"#;
+        let first = roundtrip(&mut r, &mut w, req);
+        assert!(first.contains(r#""status":"ok""#), "{first}");
+        assert!(first.contains(r#""cached":false"#), "{first}");
+        assert!(first.contains(r#""energy""#), "{first}");
+        let second = roundtrip(&mut r, &mut w, req);
+        assert!(second.contains(r#""cached":true"#), "{second}");
+        let stats = handle.stats();
+        assert_eq!(stats.total_solves(), 1, "one underlying solve");
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn bad_requests_keep_the_connection_alive() {
+        let handle = serve(small_opts()).expect("binds");
+        let (mut r, mut w) = connect(&handle);
+        let bad = roundtrip(&mut r, &mut w, "this is not json");
+        assert!(bad.contains(r#""status":"error""#), "{bad}");
+        // The same connection still serves good requests afterwards.
+        let good = roundtrip(&mut r, &mut w, r#"{"cmd":"stats"}"#);
+        assert!(good.contains(r#""status":"ok""#), "{good}");
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn infeasible_deadline_is_a_clean_error() {
+        let handle = serve(small_opts()).expect("binds");
+        let (mut r, mut w) = connect(&handle);
+        let resp = roundtrip(
+            &mut r,
+            &mut w,
+            r#"{"cmd":"solve","dag":"chain:5","mult":0.3}"#,
+        );
+        assert!(resp.contains(r#""status":"error""#), "{resp}");
+        assert!(resp.contains("infeasible"), "{resp}");
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn front_round_trip() {
+        let handle = serve(small_opts()).expect("binds");
+        let (mut r, mut w) = connect(&handle);
+        let req = r#"{"cmd":"front","dag":"chain:4","model":"discrete","modes":[1,2],"points":4,"seed":2}"#;
+        let resp = roundtrip(&mut r, &mut w, req);
+        assert!(resp.contains(r#""status":"ok""#), "{resp}");
+        assert!(resp.contains(r#""points""#), "{resp}");
+        let again = roundtrip(&mut r, &mut w, req);
+        assert!(again.contains(r#""cached":true"#), "{again}");
+        assert_eq!(handle.stats().front_traces, 1);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_daemon() {
+        let handle = serve(small_opts()).expect("binds");
+        let addr = handle.addr();
+        let (mut r, mut w) = connect(&handle);
+        let ack = roundtrip(&mut r, &mut w, r#"{"cmd":"shutdown"}"#);
+        assert!(ack.contains(r#""shutting_down":true"#), "{ack}");
+        drop((r, w));
+        handle.join();
+        // The listener is gone: a fresh connect must fail (the OS may
+        // accept briefly on some platforms, so allow either failure to
+        // connect or an immediate EOF).
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(s) => {
+                let mut line = String::new();
+                let mut reader = BufReader::new(s);
+                let n = reader.read_line(&mut line).unwrap_or(0);
+                assert_eq!(n, 0, "daemon still answering after shutdown: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_options_are_rejected() {
+        for opts in [
+            ServeOptions {
+                workers: 0,
+                ..ServeOptions::default()
+            },
+            ServeOptions {
+                queue_cap: 0,
+                ..ServeOptions::default()
+            },
+            ServeOptions {
+                cache_capacity: 0,
+                ..ServeOptions::default()
+            },
+        ] {
+            assert!(serve(opts).is_err(), "zero-capacity daemon must not bind");
+        }
+    }
+
+    #[test]
+    fn busy_client_cannot_starve_queued_connections() {
+        // One worker: a client that keeps its connection active must not
+        // monopolise it — a second connection (here: the shutdown
+        // command) still gets served via yield-after-request.
+        let handle = serve(ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        })
+        .expect("binds");
+        let (mut busy_r, mut busy_w) = connect(&handle);
+        let first = roundtrip(&mut busy_r, &mut busy_w, r#"{"cmd":"stats"}"#);
+        assert!(first.contains(r#""status":"ok""#), "{first}");
+        let (mut r2, mut w2) = connect(&handle);
+        let answered = roundtrip(&mut r2, &mut w2, r#"{"cmd":"stats"}"#);
+        assert!(
+            answered.contains(r#""status":"ok""#),
+            "second connection starved: {answered}"
+        );
+        let ack = roundtrip(&mut r2, &mut w2, r#"{"cmd":"shutdown"}"#);
+        assert!(ack.contains(r#""shutting_down":true"#), "{ack}");
+        drop((busy_r, busy_w, r2, w2));
+        handle.join();
+    }
+
+    #[test]
+    fn parked_idle_connections_do_not_consume_queue_capacity() {
+        // One worker, tiny queue: several idle keep-alive clients get
+        // parked between requests and must not trigger `busy` rejections
+        // for new connections.
+        let handle = serve(ServeOptions {
+            workers: 1,
+            queue_cap: 2,
+            ..ServeOptions::default()
+        })
+        .expect("binds");
+        let mut idle = Vec::new();
+        for _ in 0..4 {
+            let (mut r, mut w) = connect(&handle);
+            let resp = roundtrip(&mut r, &mut w, r#"{"cmd":"stats"}"#);
+            assert!(resp.contains(r#""status":"ok""#), "{resp}");
+            idle.push((r, w)); // keep the connection open and idle
+        }
+        // Give the worker time to rotate the idle connections into the
+        // parked tier, then a fresh client must still get through.
+        std::thread::sleep(Duration::from_millis(300));
+        let (mut r, mut w) = connect(&handle);
+        let resp = roundtrip(&mut r, &mut w, r#"{"cmd":"stats"}"#);
+        assert!(
+            resp.contains(r#""status":"ok""#) && !resp.contains("busy"),
+            "fresh client rejected while the daemon is idle: {resp}"
+        );
+        assert_eq!(handle.stats().rejected, 0);
+        let ack = roundtrip(&mut r, &mut w, r#"{"cmd":"shutdown"}"#);
+        assert!(ack.contains(r#""shutting_down":true"#), "{ack}");
+        drop((idle, r, w));
+        handle.join();
+    }
+
+    #[test]
+    fn partial_line_does_not_block_shutdown_forever() {
+        let handle = serve(small_opts()).expect("binds");
+        // A stalled client: bytes of a request, no newline, socket held
+        // open.
+        let mut stalled = TcpStream::connect(handle.addr()).expect("connects");
+        stalled
+            .write_all(br#"{"cmd":"sol"#)
+            .expect("writes partial");
+        stalled.flush().expect("flushes");
+        std::thread::sleep(Duration::from_millis(150)); // let a worker adopt it
+        let (mut r, mut w) = connect(&handle);
+        let ack = roundtrip(&mut r, &mut w, r#"{"cmd":"shutdown"}"#);
+        assert!(ack.contains(r#""shutting_down":true"#), "{ack}");
+        drop((r, w));
+        let t0 = std::time::Instant::now();
+        handle.join();
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "join hung on the stalled client: {:?}",
+            t0.elapsed()
+        );
+        drop(stalled);
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let handle = serve(small_opts()).expect("binds");
+        let (mut r, mut w) = connect(&handle);
+        let huge = format!(r#"{{"cmd":"solve","dag":"{}"}}"#, "x".repeat(2 << 20));
+        let resp = roundtrip(&mut r, &mut w, &huge);
+        assert!(resp.contains("exceeds 1 MiB"), "{resp}");
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn stats_reports_queue_and_worker_shape() {
+        let handle = serve(ServeOptions {
+            workers: 3,
+            ..ServeOptions::default()
+        })
+        .expect("binds");
+        let (mut r, mut w) = connect(&handle);
+        let resp = roundtrip(&mut r, &mut w, r#"{"cmd":"stats"}"#);
+        assert!(resp.contains(r#""workers":3"#), "{resp}");
+        assert!(resp.contains(r#""queue_depth""#), "{resp}");
+        handle.shutdown();
+        handle.join();
+    }
+}

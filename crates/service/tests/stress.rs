@@ -1,0 +1,254 @@
+//! Concurrency stress test for the solve daemon: many client threads
+//! hammering a mix of duplicate and distinct requests must each receive
+//! the exact cold-solve answer, the cache stats must add up, the
+//! single-flight guarantee must hold (one underlying solve per canonical
+//! digest), and shutdown must drain without dropping accepted requests.
+
+use ea_core::bicrit::{self, Solution, SolveOptions};
+use ea_core::speed::SpeedModel;
+use ea_engine::{DagSpec, Scenario};
+use ea_service::server::{serve, ServeOptions};
+use ea_service::ServiceStats;
+use serde::Deserialize;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// The wire shape of a solve response (ignoring fields we don't assert).
+#[derive(Debug, Deserialize)]
+struct SolveResponse {
+    status: String,
+    cached: Option<bool>,
+    digest: Option<String>,
+    solution: Option<Solution>,
+    error: Option<String>,
+}
+
+#[derive(Debug, Deserialize)]
+struct StatsResponse {
+    status: String,
+    stats: Option<ServiceStats>,
+}
+
+/// The six distinct request shapes of the stress mix: two DAG families
+/// under three models, everything else defaulted.
+fn distinct_requests() -> Vec<(String, Scenario)> {
+    let mk = |dag: &str, model: &str, modes: &str, seed: u64| -> (String, Scenario) {
+        let line = format!(
+            r#"{{"cmd":"solve","dag":"{dag}","model":"{model}"{modes},"mult":1.5,"seed":{seed},"procs":2}}"#
+        );
+        let spec = DagSpec::parse(dag).expect("valid spec");
+        let m = match model {
+            "continuous" => SpeedModel::continuous(1.0, 2.0),
+            "vdd" => SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0]),
+            "discrete" => SpeedModel::discrete(vec![1.0, 1.5, 2.0]),
+            "incremental" => SpeedModel::incremental(1.0, 2.0, 0.25),
+            other => panic!("unknown model {other}"),
+        };
+        (
+            line,
+            Scenario {
+                dag: spec,
+                model: m,
+                deadline_mult: 1.5,
+                seed,
+            },
+        )
+    };
+    let modes = r#","modes":[1,1.5,2]"#;
+    vec![
+        mk("chain:6", "continuous", "", 1),
+        mk("chain:6", "discrete", modes, 1),
+        mk("chain:6", "vdd", modes, 1),
+        mk("fork:4", "continuous", "", 2),
+        mk("fork:4", "incremental", "", 2),
+        mk("layered:3x2", "discrete", modes, 3),
+    ]
+}
+
+/// The cold reference answer for one scenario, computed in-process.
+fn cold_solve(sc: &Scenario) -> Solution {
+    let inst = sc.instantiate(2).expect("instantiates");
+    bicrit::solve(&inst, &sc.model, &SolveOptions::default()).expect("feasible")
+}
+
+#[test]
+fn concurrent_duplicates_solve_once_and_match_cold_solves() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 3; // each client sends every request 3×
+
+    let handle = serve(ServeOptions {
+        workers: 4,
+        ..ServeOptions::default()
+    })
+    .expect("binds");
+    let addr = handle.addr();
+
+    let requests = distinct_requests();
+    let expected: Vec<Solution> = requests.iter().map(|(_, sc)| cold_solve(sc)).collect();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let requests: Vec<String> = requests.iter().map(|(line, _)| line.clone()).collect();
+            std::thread::spawn(move || -> Vec<(usize, Solution, bool)> {
+                let stream = TcpStream::connect(addr).expect("connects");
+                let mut writer = stream.try_clone().expect("clones");
+                let mut reader = BufReader::new(stream);
+                let mut got = Vec::new();
+                for round in 0..ROUNDS {
+                    // Each client walks the mix at a different offset, so
+                    // distinct keys are in flight concurrently.
+                    for k in 0..requests.len() {
+                        let idx = (k + c + round) % requests.len();
+                        writeln!(writer, "{}", requests[idx]).expect("writes");
+                        writer.flush().expect("flushes");
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("reads");
+                        let resp: SolveResponse =
+                            serde_json::from_str(&line).expect("well-formed response");
+                        assert_eq!(resp.status, "ok", "error: {:?}", resp.error);
+                        assert!(resp.digest.is_some(), "solve responses carry the digest");
+                        got.push((
+                            idx,
+                            resp.solution.expect("ok responses carry the solution"),
+                            resp.cached.expect("ok responses carry the cache flag"),
+                        ));
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut total = 0usize;
+    let mut served_cached = 0usize;
+    let mut digests_by_idx: HashMap<usize, Vec<Solution>> = HashMap::new();
+    for client in clients {
+        for (idx, sol, cached) in client.join().expect("client thread survives") {
+            total += 1;
+            served_cached += cached as usize;
+            digests_by_idx.entry(idx).or_default().push(sol);
+        }
+    }
+    assert_eq!(total, CLIENTS * ROUNDS * requests.len());
+
+    // Every response bit-matches the cold in-process solve.
+    for (idx, sols) in &digests_by_idx {
+        let want = &expected[*idx];
+        for got in sols {
+            assert_eq!(
+                got.energy.to_bits(),
+                want.energy.to_bits(),
+                "request {idx}: served energy {} != cold {}",
+                got.energy,
+                want.energy
+            );
+            assert_eq!(
+                got.makespan.to_bits(),
+                want.makespan.to_bits(),
+                "request {idx}: served makespan differs"
+            );
+            assert_eq!(
+                got.profiles, want.profiles,
+                "request {idx}: served profiles differ"
+            );
+        }
+    }
+
+    // Single flight: exactly one underlying solve per canonical digest,
+    // asserted through the service's own stats.
+    let stats = query_stats(addr);
+    assert_eq!(
+        stats.total_solves(),
+        requests.len() as u64,
+        "exactly one underlying solve per distinct request: {stats:?}"
+    );
+    assert_eq!(stats.solves_continuous, 2, "{stats:?}");
+    assert_eq!(stats.solves_discrete, 2, "{stats:?}");
+    assert_eq!(stats.solves_vdd_hopping, 1, "{stats:?}");
+    assert_eq!(stats.solves_incremental, 1, "{stats:?}");
+
+    let cache = stats.cache.expect("stats carry cache counters");
+    assert_eq!(cache.misses, requests.len() as u64, "one miss per digest");
+    assert_eq!(cache.evictions, 0, "capacity never exceeded");
+    // Everything not a miss was served from the cache, one way or the
+    // other — and the transport-level `cached` flags agree.
+    let expected_cached = (total - requests.len()) as u64;
+    assert_eq!(cache.served_without_compute(), expected_cached, "{cache:?}");
+    assert_eq!(served_cached as u64, expected_cached);
+
+    // +1 for the stats connection itself.
+    assert_eq!(stats.connections, CLIENTS as u64 + 1, "{stats:?}");
+    assert_eq!(stats.rejected, 0, "queue never overflowed: {stats:?}");
+
+    // Graceful shutdown: ack, then join — the daemon exits on its own.
+    shutdown(addr);
+    handle.join();
+}
+
+/// Shutdown must drain the queue: requests written *before* the shutdown
+/// command on other connections are all answered.
+#[test]
+fn shutdown_drains_in_flight_connections() {
+    let handle = serve(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    })
+    .expect("binds");
+    let addr = handle.addr();
+
+    // Open several connections and write one request on each (without
+    // reading yet), so work is queued when the shutdown lands.
+    let mut pending: Vec<(BufReader<TcpStream>, TcpStream)> = (0..4)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("connects");
+            let reader = BufReader::new(s.try_clone().expect("clones"));
+            (reader, s)
+        })
+        .collect();
+    for (i, (_, w)) in pending.iter_mut().enumerate() {
+        writeln!(
+            w,
+            r#"{{"cmd":"solve","dag":"chain:5","model":"continuous","mult":1.5,"seed":{i}}}"#
+        )
+        .expect("writes");
+        w.flush().expect("flushes");
+    }
+
+    shutdown(addr);
+
+    // Every accepted request is still answered after the shutdown ack.
+    for (i, (reader, _)) in pending.iter_mut().enumerate() {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads");
+        let resp: SolveResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(resp.status, "ok", "connection {i} dropped: {line}");
+        assert!(resp.solution.is_some(), "connection {i} got no solution");
+    }
+    drop(pending);
+    handle.join();
+}
+
+fn query_stats(addr: std::net::SocketAddr) -> ServiceStats {
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones");
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"cmd":"stats"}}"#).expect("writes");
+    writer.flush().expect("flushes");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reads");
+    let resp: StatsResponse = serde_json::from_str(&line).expect("parses");
+    assert_eq!(resp.status, "ok");
+    resp.stats.expect("stats payload present")
+}
+
+fn shutdown(addr: std::net::SocketAddr) {
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones");
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"cmd":"shutdown"}}"#).expect("writes");
+    writer.flush().expect("flushes");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("reads ack");
+    assert!(ack.contains(r#""shutting_down":true"#), "{ack}");
+}

@@ -18,6 +18,43 @@ cargo build --examples
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+# The golden regression suite (tests/golden.rs, a registered test target
+# of the root package) already ran inside `cargo test -q` above; verify
+# the snapshots are present rather than re-solving all twelve cases.
+echo "==> golden snapshots present"
+count="$(ls tests/golden/*.json 2>/dev/null | wc -l)"
+[ "$count" -eq 12 ] || { echo "expected 12 golden snapshots, found $count"; exit 1; }
+
+echo "==> service smoke test (daemon round-trip on an ephemeral port)"
+smoke_out="$(mktemp)"
+target/release/easched --serve --port 0 --workers 2 >"$smoke_out" 2>/dev/null &
+smoke_pid=$!
+trap 'kill "$smoke_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  grep -q '127\.0\.0\.1:' "$smoke_out" && break
+  sleep 0.1
+done
+port="$(grep -oE '127\.0\.0\.1:[0-9]+' "$smoke_out" | head -1 | cut -d: -f2)"
+[ -n "$port" ] || { echo "service smoke: daemon printed no address"; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf '{"cmd":"solve","dag":"chain:6","model":"continuous","mult":1.5,"seed":1}\n' >&3
+IFS= read -r reply <&3
+case "$reply" in
+  *'"status":"ok"'*'"energy"'*) ;;
+  *) echo "service smoke: unexpected solve reply: $reply"; exit 1 ;;
+esac
+printf '{"cmd":"shutdown"}\n' >&3
+IFS= read -r ack <&3
+case "$ack" in
+  *'"shutting_down":true'*) ;;
+  *) echo "service smoke: unexpected shutdown ack: $ack"; exit 1 ;;
+esac
+exec 3<&- 3>&-
+wait "$smoke_pid"
+trap - EXIT
+rm -f "$smoke_out"
+echo "service smoke: OK (port $port, clean shutdown)"
+
 echo "tier-1 gate: OK"
 
 echo "==> cargo fmt --check"

@@ -30,6 +30,15 @@
 //! chosen model* (its largest mode for vdd/discrete, `--fmax` for
 //! continuous/incremental), so `--mult 1.2` always means 20% real slack.
 //!
+//! Serve mode runs the `ea-service` daemon: newline-delimited JSON solve
+//! requests over TCP, answered through a sharded solution cache (one
+//! underlying solve per canonical request digest):
+//!
+//! ```text
+//! easched --serve --port 7878 --workers 4
+//! easched --serve --port 0              # ephemeral port, printed on stdout
+//! ```
+//!
 //! Exit code 2 signals an infeasible deadline; 1 a usage error.
 
 use energy_aware_scheduling::core::bicrit::pareto::FrontOptions;
@@ -38,6 +47,8 @@ use energy_aware_scheduling::engine::{
     run_batch, run_front, BatchOptions, DagSpec, FrontBatchOptions, FrontScenario, Scenario,
 };
 use energy_aware_scheduling::prelude::*;
+use energy_aware_scheduling::service::{serve, ServeOptions};
+use std::io::Write as _;
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -63,6 +74,11 @@ struct Args {
     front_tol: f64,
     csv: bool,
     cold: bool,
+    serve: bool,
+    port: u16,
+    workers: usize,
+    queue_cap: usize,
+    cache_cap: usize,
     /// Batch-only flags the user actually passed — rejected outside
     /// `--batch` instead of silently ignored.
     batch_only_flags: Vec<&'static str>,
@@ -75,6 +91,14 @@ struct Args {
     /// Grid-only flags (`--scenarios`, `--models`, `--seeds`) the user
     /// actually passed — rejected in single-solve mode.
     grid_only_flags: Vec<&'static str>,
+    /// Serve-only flags (`--port`, `--workers`, `--queue-cap`,
+    /// `--cache-cap`) the user actually passed — rejected outside
+    /// `--serve`.
+    serve_only_flags: Vec<&'static str>,
+    /// Solver-shape flags (`--procs`, `--fmin`, …) the user actually
+    /// passed — rejected under `--serve`, where every request carries its
+    /// own knobs.
+    non_serve_flags: Vec<&'static str>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -100,10 +124,17 @@ fn parse_args() -> Result<Args, String> {
         front_tol: 0.02,
         csv: false,
         cold: false,
+        serve: false,
+        port: 7878,
+        workers: 4,
+        queue_cap: 64,
+        cache_cap: 1024,
         batch_only_flags: Vec::new(),
         front_only_flags: Vec::new(),
         single_only_flags: Vec::new(),
         grid_only_flags: Vec::new(),
+        serve_only_flags: Vec::new(),
+        non_serve_flags: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -136,16 +167,34 @@ fn parse_args() -> Result<Args, String> {
                 args.mult = take(&mut i)?.parse().map_err(|e| format!("--mult: {e}"))?;
                 args.single_only_flags.push("--mult");
             }
-            "--procs" => args.procs = take(&mut i)?.parse().map_err(|e| format!("--procs: {e}"))?,
+            "--procs" => {
+                args.procs = take(&mut i)?.parse().map_err(|e| format!("--procs: {e}"))?;
+                args.non_serve_flags.push("--procs");
+            }
             "--seed" => {
                 args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
                 args.single_only_flags.push("--seed");
             }
-            "--delta" => args.delta = take(&mut i)?.parse().map_err(|e| format!("--delta: {e}"))?,
-            "--fmin" => args.fmin = take(&mut i)?.parse().map_err(|e| format!("--fmin: {e}"))?,
-            "--fmax" => args.fmax = take(&mut i)?.parse().map_err(|e| format!("--fmax: {e}"))?,
-            "--modes" => args.modes = floats(&take(&mut i)?, "--modes")?,
-            "--json" => args.json = true,
+            "--delta" => {
+                args.delta = take(&mut i)?.parse().map_err(|e| format!("--delta: {e}"))?;
+                args.non_serve_flags.push("--delta");
+            }
+            "--fmin" => {
+                args.fmin = take(&mut i)?.parse().map_err(|e| format!("--fmin: {e}"))?;
+                args.non_serve_flags.push("--fmin");
+            }
+            "--fmax" => {
+                args.fmax = take(&mut i)?.parse().map_err(|e| format!("--fmax: {e}"))?;
+                args.non_serve_flags.push("--fmax");
+            }
+            "--modes" => {
+                args.modes = floats(&take(&mut i)?, "--modes")?;
+                args.non_serve_flags.push("--modes");
+            }
+            "--json" => {
+                args.json = true;
+                args.non_serve_flags.push("--json");
+            }
             "--batch" => args.batch = true,
             "--scenarios" => {
                 args.scenarios = take(&mut i)?
@@ -198,6 +247,29 @@ fn parse_args() -> Result<Args, String> {
                 args.cold = true;
                 args.front_only_flags.push("--cold");
             }
+            "--serve" => args.serve = true,
+            "--port" => {
+                args.port = take(&mut i)?.parse().map_err(|e| format!("--port: {e}"))?;
+                args.serve_only_flags.push("--port");
+            }
+            "--workers" => {
+                args.workers = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                args.serve_only_flags.push("--workers");
+            }
+            "--queue-cap" => {
+                args.queue_cap = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+                args.serve_only_flags.push("--queue-cap");
+            }
+            "--cache-cap" => {
+                args.cache_cap = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--cache-cap: {e}"))?;
+                args.serve_only_flags.push("--cache-cap");
+            }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -238,8 +310,9 @@ fn validate(args: &Args) -> Result<(), String> {
     if args.batch && args.mc_runs > 0 && args.fmin >= args.fmax {
         return Err("--mc-runs needs a non-degenerate speed range (--fmin < --fmax)".into());
     }
-    if args.batch && args.front {
-        return Err("--batch and --front are mutually exclusive".into());
+    let modes_on = [args.batch, args.front, args.serve];
+    if modes_on.iter().filter(|&&m| m).count() > 1 {
+        return Err("--batch, --front and --serve are mutually exclusive".into());
     }
     // Mode-exclusive flags are rejected in the wrong mode, not ignored.
     if !args.batch {
@@ -250,6 +323,32 @@ fn validate(args: &Args) -> Result<(), String> {
     if !args.front {
         if let Some(f) = args.front_only_flags.first() {
             return Err(format!("{f} requires --front"));
+        }
+    }
+    if !args.serve {
+        if let Some(f) = args.serve_only_flags.first() {
+            return Err(format!("{f} requires --serve"));
+        }
+    }
+    if args.serve {
+        if let Some(f) = args.single_only_flags.first() {
+            return Err(format!(
+                "{f} applies to single-solve mode only (send per-request knobs in --serve mode)"
+            ));
+        }
+        if let Some(f) = args.non_serve_flags.first() {
+            return Err(format!(
+                "{f} does not apply to --serve (every request carries its own knobs)"
+            ));
+        }
+        if args.workers == 0 {
+            return Err("--workers must be ≥ 1".into());
+        }
+        if args.queue_cap == 0 {
+            return Err("--queue-cap must be ≥ 1".into());
+        }
+        if args.cache_cap == 0 {
+            return Err("--cache-cap must be ≥ 1".into());
         }
     }
     if args.batch || args.front {
@@ -294,21 +393,24 @@ fn usage() {
        batch: easched --batch [--scenarios spec1,spec2,..] [--models m1,m2,..] \
          [--mults x1,x2,..] [--seeds N] [--mc-runs R] [--procs P]\n\
        front: easched --front [--scenarios spec1,..] [--models m1,..] [--seeds N] \
-         [--front-points N] [--front-tol X] [--cold] [--csv|--json] [--procs P]"
+         [--front-points N] [--front-tol X] [--cold] [--csv|--json] [--procs P]\n\
+       serve: easched --serve [--port P] [--workers N] [--queue-cap Q] [--cache-cap C]"
     );
 }
 
-/// Builds the [`SpeedModel`] a model name denotes — the only place a model
-/// *string* is interpreted; everything downstream dispatches on the
-/// [`SpeedModel`] itself via `bicrit::solve`.
+/// Builds the [`SpeedModel`] a model name denotes, through the shared
+/// name→model mapping in `ea-engine` (`build_speed_model`) — the CLI and
+/// the `--serve` wire protocol interpret model strings identically;
+/// everything downstream dispatches on the [`SpeedModel`] itself via
+/// `bicrit::solve`.
 fn build_model(name: &str, args: &Args) -> Result<SpeedModel, String> {
-    match name {
-        "continuous" => Ok(SpeedModel::continuous(args.fmin, args.fmax)),
-        "vdd" => Ok(SpeedModel::vdd_hopping(args.modes.clone())),
-        "discrete" => Ok(SpeedModel::discrete(args.modes.clone())),
-        "incremental" => Ok(SpeedModel::incremental(args.fmin, args.fmax, args.delta)),
-        other => Err(format!("unknown model {other}")),
-    }
+    energy_aware_scheduling::engine::build_speed_model(
+        name,
+        args.fmin,
+        args.fmax,
+        args.delta,
+        &args.modes,
+    )
 }
 
 fn run_single(args: &Args) -> Result<ExitCode, String> {
@@ -451,6 +553,31 @@ fn run_front_mode(args: &Args) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Runs the solve daemon until a client sends `{"cmd":"shutdown"}`. The
+/// bound address (resolving `--port 0`) is printed to stdout so scripts
+/// can pick the port up.
+fn run_serve_mode(args: &Args) -> Result<ExitCode, String> {
+    let handle = serve(ServeOptions {
+        port: args.port,
+        workers: args.workers,
+        queue_cap: args.queue_cap,
+        cache_capacity: args.cache_cap,
+        ..ServeOptions::default()
+    })
+    .map_err(|e| format!("--serve: {e}"))?;
+    println!(
+        "easched: serving on {} ({} workers, queue {}, cache {})",
+        handle.addr(),
+        args.workers,
+        args.queue_cap,
+        args.cache_cap
+    );
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    handle.join();
+    eprintln!("easched: shutdown complete");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -466,6 +593,8 @@ fn main() -> ExitCode {
         run_batch_mode(&args)
     } else if args.front {
         run_front_mode(&args)
+    } else if args.serve {
+        run_serve_mode(&args)
     } else {
         run_single(&args)
     };

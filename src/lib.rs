@@ -13,6 +13,8 @@
 //! * [`sim`] — the fault-injection discrete-event simulator ([`ea_sim`]).
 //! * [`engine`] — the parallel scenario engine: grids of (DAG × model ×
 //!   deadline × seed) solved through `bicrit::solve` ([`ea_engine`]).
+//! * [`service`] — the solve daemon: NDJSON-over-TCP serving with a
+//!   sharded single-flight solution cache ([`ea_service`]).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory; run `cargo run --example quickstart` for a first tour.
@@ -22,6 +24,7 @@ pub use ea_core as core;
 pub use ea_engine as engine;
 pub use ea_linalg as linalg;
 pub use ea_lp as lp;
+pub use ea_service as service;
 pub use ea_sim as sim;
 pub use ea_taskgraph as taskgraph;
 

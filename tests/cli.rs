@@ -216,6 +216,145 @@ fn front_mode_rejects_bad_knobs() {
 }
 
 #[test]
+fn serve_mode_rejects_other_modes_and_foreign_flags() {
+    // --serve is a mode of its own: grid modes conflict, and both the
+    // single-solve and grid flags are rejected, not ignored.
+    let out = easched(&["--serve", "--batch"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--serve", "--front"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--serve", "--mult", "1.5"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--mult applies to single-solve mode"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--serve", "--scenarios", "chain:4"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--scenarios requires --batch or --front"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--serve", "--procs", "3"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--procs does not apply to --serve"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--serve", "--json"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--json does not apply to --serve"),
+        "{}",
+        stderr(&out)
+    );
+    // Serve-only flags outside --serve are rejected the same way.
+    let out = easched(&["--workers", "2"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--workers requires --serve"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--batch", "--port", "7878"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--port requires --serve"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn serve_mode_rejects_bad_port_and_zero_workers() {
+    let out = easched(&["--serve", "--workers", "0"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--workers must be ≥ 1"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--serve", "--port", "99999999"]);
+    assert_eq!(code(&out), 1, "port exceeding u16 is a usage error");
+    assert!(stderr(&out).contains("--port"), "{}", stderr(&out));
+    let out = easched(&["--serve", "--port", "not-a-port"]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("--port"), "{}", stderr(&out));
+    let out = easched(&["--serve", "--queue-cap", "0"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--queue-cap must be ≥ 1"),
+        "{}",
+        stderr(&out)
+    );
+    let out = easched(&["--serve", "--cache-cap", "0"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("--cache-cap must be ≥ 1"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn serve_mode_round_trip() {
+    use std::io::{BufRead, BufReader, Write};
+
+    // Ephemeral port: the daemon prints the bound address on stdout.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_easched"))
+        .args(["--serve", "--port", "0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout);
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("banner printed");
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    writeln!(
+        writer,
+        r#"{{"cmd":"solve","dag":"chain:5","model":"continuous","mult":1.5,"seed":1}}"#
+    )
+    .expect("writes");
+    reader.read_line(&mut line).expect("reads");
+    assert!(line.contains(r#""status":"ok""#), "{line}");
+    assert!(line.contains(r#""energy""#), "{line}");
+
+    line.clear();
+    writeln!(writer, r#"{{"cmd":"shutdown"}}"#).expect("writes");
+    reader.read_line(&mut line).expect("reads ack");
+    assert!(line.contains(r#""shutting_down":true"#), "{line}");
+    drop((reader, writer));
+
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status:?}");
+}
+
+#[test]
 fn mode_exclusive_flags_are_rejected_not_ignored() {
     let out = easched(&["--batch", "--scenarios", "chain:4", "--csv"]);
     assert_eq!(code(&out), 1);

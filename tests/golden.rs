@@ -1,0 +1,287 @@
+//! Golden-output regression suite: pinned `bicrit::solve` results for a
+//! fixed set of seeded instances across all four speed models.
+//!
+//! Each case snapshots energy, makespan, lower bound, and the per-task
+//! speed profiles to fixed precision in `tests/golden/<case>.json`. A
+//! drifting solver fails with the offending field named; intentional
+//! changes regenerate the snapshots with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! The warm-start and Pareto machinery keeps evolving around the same
+//! hot paths — this suite is what makes that refactoring safe.
+
+use energy_aware_scheduling::core::bicrit::{self, SolveOptions, SpeedProfile};
+use energy_aware_scheduling::engine::{DagSpec, Scenario};
+use energy_aware_scheduling::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Decimal places pinned by the snapshots. Solves are deterministic, so
+/// this guards against formatting jitter, not solver noise — failures at
+/// this precision are real numeric drift.
+const PRECISION: i32 = 9;
+
+fn round(x: f64) -> f64 {
+    let scale = 10f64.powi(PRECISION);
+    (x * scale).round() / scale
+}
+
+/// One pinned case: a scenario plus the platform it is mapped onto.
+struct Case {
+    name: String,
+    dag: &'static str,
+    model_name: &'static str,
+    model: SpeedModel,
+    seed: u64,
+    mult: f64,
+    procs: usize,
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+    let models: [(&'static str, SpeedModel); 4] = [
+        ("continuous", SpeedModel::continuous(1.0, 2.0)),
+        ("vdd", SpeedModel::vdd_hopping(vec![1.0, 1.5, 2.0])),
+        ("discrete", SpeedModel::discrete(vec![1.0, 1.5, 2.0])),
+        ("incremental", SpeedModel::incremental(1.0, 2.0, 0.25)),
+    ];
+    let instances: [(&'static str, &'static str, u64, f64, usize); 3] = [
+        ("chain8", "chain:8", 1, 1.4, 2),
+        ("layered4x3", "layered:4x3", 7, 1.6, 2),
+        ("fork6", "fork:6", 3, 1.5, 3),
+    ];
+    for (mname, model) in &models {
+        for &(iname, dag, seed, mult, procs) in &instances {
+            out.push(Case {
+                name: format!("{mname}_{iname}"),
+                dag,
+                model_name: mname,
+                model: model.clone(),
+                seed,
+                mult,
+                procs,
+            });
+        }
+    }
+    out
+}
+
+/// The snapshot schema: everything rounded to [`PRECISION`] decimals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Golden {
+    case: String,
+    dag: String,
+    model: String,
+    seed: u64,
+    mult: f64,
+    procs: usize,
+    n_tasks: usize,
+    deadline: f64,
+    energy: f64,
+    makespan: f64,
+    lower_bound: Option<f64>,
+    /// Per-task profiles: each task is a list of `(speed, time)` segments
+    /// (constant profiles become one segment with the full duration).
+    profiles: Vec<Vec<(f64, f64)>>,
+}
+
+fn snapshot(case: &Case) -> Golden {
+    let scenario = Scenario {
+        dag: DagSpec::parse(case.dag).expect("valid dag spec"),
+        model: case.model.clone(),
+        deadline_mult: case.mult,
+        seed: case.seed,
+    };
+    let inst = scenario.instantiate(case.procs).expect("instantiates");
+    let sol = bicrit::solve(&inst, &case.model, &SolveOptions::default()).expect("solves");
+    let weights = inst.dag.weights();
+    let profiles = sol
+        .profiles
+        .iter()
+        .zip(weights)
+        .map(|(p, &w)| match p {
+            SpeedProfile::Constant(f) => vec![(round(*f), round(w / f))],
+            SpeedProfile::Segments(segs) => {
+                segs.iter().map(|&(f, t)| (round(f), round(t))).collect()
+            }
+        })
+        .collect();
+    Golden {
+        case: case.name.clone(),
+        dag: case.dag.to_string(),
+        model: case.model_name.to_string(),
+        seed: case.seed,
+        mult: case.mult,
+        procs: case.procs,
+        n_tasks: inst.n_tasks(),
+        deadline: round(inst.deadline),
+        energy: round(sol.energy),
+        makespan: round(sol.makespan),
+        lower_bound: sol.lower_bound.map(round),
+        profiles,
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn updating() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Compares field by field so a failure names exactly what drifted.
+fn diff(case: &str, want: &Golden, got: &Golden) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut field = |name: &str, want: String, got: String| {
+        if want != got {
+            out.push(format!(
+                "{case}: field `{name}` drifted: golden {want}, recomputed {got}"
+            ));
+        }
+    };
+    field("dag", want.dag.clone(), got.dag.clone());
+    field("model", want.model.clone(), got.model.clone());
+    field("seed", want.seed.to_string(), got.seed.to_string());
+    field("mult", want.mult.to_string(), got.mult.to_string());
+    field("procs", want.procs.to_string(), got.procs.to_string());
+    field("n_tasks", want.n_tasks.to_string(), got.n_tasks.to_string());
+    field(
+        "deadline",
+        format!("{}", want.deadline),
+        format!("{}", got.deadline),
+    );
+    field(
+        "energy",
+        format!("{}", want.energy),
+        format!("{}", got.energy),
+    );
+    field(
+        "makespan",
+        format!("{}", want.makespan),
+        format!("{}", got.makespan),
+    );
+    field(
+        "lower_bound",
+        format!("{:?}", want.lower_bound),
+        format!("{:?}", got.lower_bound),
+    );
+    if want.profiles.len() != got.profiles.len() {
+        field(
+            "profiles.len",
+            want.profiles.len().to_string(),
+            got.profiles.len().to_string(),
+        );
+    } else {
+        for (t, (w, g)) in want.profiles.iter().zip(&got.profiles).enumerate() {
+            if w != g {
+                field(
+                    &format!("profiles[task {t}]"),
+                    format!("{w:?}"),
+                    format!("{g:?}"),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_outputs_are_pinned() {
+    let dir = golden_dir();
+    if updating() {
+        std::fs::create_dir_all(&dir).expect("golden dir creatable");
+    }
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for case in cases() {
+        let got = snapshot(&case);
+        let path = dir.join(format!("{}.json", case.name));
+        if updating() {
+            let json = serde_json::to_string_pretty(&got).expect("snapshot serialises");
+            std::fs::write(&path, json + "\n").expect("snapshot writable");
+            checked += 1;
+            continue;
+        }
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!(
+                    "{}: missing golden file {} ({e})",
+                    case.name,
+                    path.display()
+                ));
+                continue;
+            }
+        };
+        let want: Golden = match serde_json::from_str(&raw) {
+            Ok(w) => w,
+            Err(e) => {
+                failures.push(format!("{}: unparseable golden file: {e}", case.name));
+                continue;
+            }
+        };
+        failures.extend(diff(&case.name, &want, &got));
+        checked += 1;
+    }
+    assert!(
+        failures.is_empty(),
+        "golden drift in {} case(s):\n{}\n\nIf intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test golden",
+        failures.len(),
+        failures.join("\n")
+    );
+    assert_eq!(checked, 12, "all four models × three instances are pinned");
+}
+
+/// The snapshots themselves stay honest: every pinned solution respects
+/// its own deadline and model admissibility at the pinned precision.
+#[test]
+fn golden_files_are_self_consistent() {
+    let dir = golden_dir();
+    for case in cases() {
+        let path = dir.join(format!("{}.json", case.name));
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            // `golden_outputs_are_pinned` reports missing files with the
+            // regeneration hint; don't double-report here.
+            continue;
+        };
+        let g: Golden = serde_json::from_str(&raw).expect("golden parses");
+        assert!(
+            g.makespan <= g.deadline * (1.0 + 1e-6),
+            "{}: pinned makespan {} exceeds deadline {}",
+            case.name,
+            g.makespan,
+            g.deadline
+        );
+        assert_eq!(g.profiles.len(), g.n_tasks, "{}", case.name);
+        for (t, segs) in g.profiles.iter().enumerate() {
+            assert!(!segs.is_empty(), "{}: task {t} has no segments", case.name);
+            for &(f, dur) in segs {
+                // Rounded speeds sit within a hair of an admissible speed.
+                assert!(
+                    case.model.round_up(f - 1e-6).is_some(),
+                    "{}: task {t} pinned at inadmissible speed {f}",
+                    case.name
+                );
+                assert!(
+                    dur > 0.0,
+                    "{}: task {t} has a zero-length segment",
+                    case.name
+                );
+            }
+        }
+        if let Some(lb) = g.lower_bound {
+            assert!(
+                lb <= g.energy * (1.0 + 1e-6),
+                "{}: pinned lower bound {lb} exceeds energy {}",
+                case.name,
+                g.energy
+            );
+        }
+    }
+}

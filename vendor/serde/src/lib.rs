@@ -113,6 +113,22 @@ pub fn field<T: Deserialize>(map: &Content, name: &str) -> Result<T, DeError> {
 // Serialize impls
 // ---------------------------------------------------------------------------
 
+/// `Content` is its own representation (mirrors `serde_json::Value`
+/// serializing as itself).
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+/// `Content` deserializes from any value verbatim (mirrors
+/// `serde_json::Value`).
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_content(&self) -> Content {
         (**self).to_content()
